@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! way-gang interconnection scheme, ECC scheme, compressor placement,
+//! ONFI interface speed and host queue depth.
+//!
+//! Each group prints the measured throughput of the ablated variants before
+//! benchmarking a representative kernel, so `cargo bench` doubles as a
+//! sensitivity report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdx_bench::{bench_workload, sequential_write_workload};
+use ssdx_channel::GangMode;
+use ssdx_core::{CachePolicy, CompressorConfig, Ssd, SsdConfig, SsdConfigBuilder};
+use ssdx_ecc::EccScheme;
+use ssdx_hostif::AccessPattern;
+use ssdx_nand::OnfiSpeed;
+use std::hint::black_box;
+
+fn base_config(name: &str) -> SsdConfigBuilder {
+    SsdConfig::builder(name)
+        .topology(8, 4, 2)
+        .dram_buffers(8)
+        .dram_buffer_capacity(128 * 1024)
+}
+
+fn print_throughput(label: &str, cfg: SsdConfig, pattern: AccessPattern) {
+    let report = Ssd::new(cfg).run(&bench_workload(pattern, 4_096));
+    println!("  {:<28} {:>8.1} MB/s", label, report.throughput_mbps);
+}
+
+fn print_series() {
+    println!("\n=== Ablations (8-CHN/4-WAY/2-DIE unless stated) ===");
+
+    println!("way gang interconnection (sequential write):");
+    print_throughput(
+        "shared-bus gang",
+        base_config("gang-sb").gang(GangMode::SharedBus).build().unwrap(),
+        AccessPattern::SequentialWrite,
+    );
+    print_throughput(
+        "shared-control gang",
+        base_config("gang-sc").gang(GangMode::SharedControl).build().unwrap(),
+        AccessPattern::SequentialWrite,
+    );
+
+    println!("ECC scheme (sequential read):");
+    for (label, ecc) in [
+        ("no ECC", EccScheme::None),
+        ("fixed BCH t=40", EccScheme::fixed_bch(40)),
+        ("adaptive BCH t<=40", EccScheme::adaptive_bch(40)),
+    ] {
+        print_throughput(
+            label,
+            base_config("ecc").ecc(ecc).build().unwrap(),
+            AccessPattern::SequentialRead,
+        );
+    }
+
+    println!("compressor placement (sequential write):");
+    for (label, comp) in [
+        ("no compressor", CompressorConfig::None),
+        ("host-side GZIP", CompressorConfig::HostSide),
+        ("channel-side GZIP", CompressorConfig::ChannelSide),
+    ] {
+        print_throughput(
+            label,
+            base_config("comp").compressor(comp).build().unwrap(),
+            AccessPattern::SequentialWrite,
+        );
+    }
+
+    println!("ONFI interface speed (sequential write):");
+    for (label, speed) in [
+        ("legacy async 20 MB/s", OnfiSpeed::Sdr20),
+        ("async 40 MB/s", OnfiSpeed::Sdr40),
+        ("ONFI 2.x DDR-166", OnfiSpeed::Ddr166),
+    ] {
+        print_throughput(
+            label,
+            base_config("onfi").onfi_speed(speed).build().unwrap(),
+            AccessPattern::SequentialWrite,
+        );
+    }
+
+    println!("host queue depth, no-cache policy (sequential write):");
+    for qd in [1u32, 8, 32] {
+        print_throughput(
+            &format!("SATA NCQ depth {qd}"),
+            base_config("qd")
+                .cache_policy(CachePolicy::NoCache)
+                .queue_depth(qd)
+                .build()
+                .unwrap(),
+            AccessPattern::SequentialWrite,
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let workload = sequential_write_workload(2_048);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (label, gang) in [
+        ("shared_bus", GangMode::SharedBus),
+        ("shared_control", GangMode::SharedControl),
+    ] {
+        let cfg = base_config("gang").gang(gang).build().unwrap();
+        group.bench_with_input(BenchmarkId::new("gang", label), &cfg, |b, cfg| {
+            let mut ssd = Ssd::new(cfg.clone());
+            b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+        });
+    }
+    for (label, ecc) in [
+        ("none", EccScheme::None),
+        ("fixed_40", EccScheme::fixed_bch(40)),
+        ("adaptive_40", EccScheme::adaptive_bch(40)),
+    ] {
+        let cfg = base_config("ecc").ecc(ecc).build().unwrap();
+        let read_workload = bench_workload(AccessPattern::SequentialRead, 1_024);
+        group.bench_with_input(BenchmarkId::new("ecc", label), &cfg, |b, cfg| {
+            let mut ssd = Ssd::new(cfg.clone());
+            b.iter(|| black_box(ssd.run(&read_workload).throughput_mbps));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

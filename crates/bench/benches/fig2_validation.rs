@@ -1,0 +1,42 @@
+//! Fig. 2 — validation against the OCZ Vertex 120 GB.
+//!
+//! Prints the four IOZone-style throughput figures (SW/SR/RW/RR, 4 KB) for
+//! the OCZ-Vertex-like configuration, then benchmarks the sequential-write
+//! run as the timing kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdx_bench::bench_workload;
+use ssdx_core::configs::ocz_vertex_like;
+use ssdx_core::Ssd;
+use ssdx_hostif::AccessPattern;
+use std::hint::black_box;
+
+fn print_series() {
+    println!("\n=== Fig. 2: OCZ-Vertex-like throughput (bench-sized workload) ===");
+    let mut ssd = Ssd::new(ocz_vertex_like());
+    for pattern in AccessPattern::all() {
+        let report = ssd.run(&bench_workload(pattern, 16_384));
+        println!("{:<4} {:>8.1} MB/s", pattern.label(), report.throughput_mbps);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig2_validation");
+    group.sample_size(10);
+    group.bench_function("ocz_vertex_like/sequential_write_2048", |b| {
+        let workload = bench_workload(AccessPattern::SequentialWrite, 2_048);
+        let mut ssd = Ssd::new(ocz_vertex_like());
+        b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+    });
+    group.bench_function("ocz_vertex_like/random_read_2048", |b| {
+        let workload = bench_workload(AccessPattern::RandomRead, 2_048);
+        let mut ssd = Ssd::new(ocz_vertex_like());
+        b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

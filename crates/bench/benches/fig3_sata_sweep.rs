@@ -1,0 +1,46 @@
+//! Fig. 3 — Sequential Write throughput across the Table II configurations
+//! behind a SATA II host interface.
+//!
+//! Prints the DDR+FLASH / SSD-cache / SSD-no-cache columns for C1–C10, then
+//! benchmarks representative configurations as timing kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdx_bench::{sequential_write_workload, steady_state, BENCH_COMMANDS};
+use ssdx_core::configs::table2_configs;
+use ssdx_core::{explorer, HostInterfaceConfig, Ssd, SsdConfig};
+use std::hint::black_box;
+
+fn print_series() {
+    println!("\n=== Fig. 3: Sequential Write, SATA II host interface ===");
+    let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
+    let sweep = explorer::sweep_host_interface(
+        HostInterfaceConfig::Sata2,
+        &configs,
+        &sequential_write_workload(BENCH_COMMANDS),
+    );
+    print!("{}", sweep.to_table());
+    if let Some(best) = sweep.optimal_design_point(0.95) {
+        println!("optimal design point: {}\n", best.config_name);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig3_sata_sweep");
+    group.sample_size(10);
+    let workload = sequential_write_workload(2_048);
+    for cfg in table2_configs().into_iter().map(steady_state) {
+        // C1, C6 and C10 span the resource range of Table II.
+        if !matches!(cfg.name.as_str(), "C1" | "C6" | "C10") {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("sata2_cache", &cfg.name), &cfg, |b, cfg| {
+            let mut ssd = Ssd::new(cfg.clone());
+            b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

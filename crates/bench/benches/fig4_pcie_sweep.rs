@@ -1,0 +1,54 @@
+//! Fig. 4 — Sequential Write throughput across the Table II configurations
+//! behind a PCIe Gen2 x8 + NVMe host interface.
+//!
+//! Prints the DDR+FLASH / SSD-cache / SSD-no-cache columns for C1–C10 and the
+//! performance/cost Pareto front, then benchmarks representative
+//! configurations as timing kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdx_bench::{sequential_write_workload, steady_state, BENCH_COMMANDS};
+use ssdx_core::configs::table2_configs;
+use ssdx_core::{explorer, CachePolicy, HostInterfaceConfig, Ssd, SsdConfig};
+use std::hint::black_box;
+
+fn print_series() {
+    println!("\n=== Fig. 4: Sequential Write, PCIe Gen2 x8 + NVMe host interface ===");
+    let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
+    let sweep = explorer::sweep_host_interface(
+        HostInterfaceConfig::nvme_gen2_x8(),
+        &configs,
+        &sequential_write_workload(BENCH_COMMANDS),
+    );
+    print!("{}", sweep.to_table());
+    println!("Pareto front (throughput vs channels+buffers):");
+    for p in sweep.pareto_front() {
+        println!(
+            "  {:<4} {:>7.1} MB/s ({} channels, {} buffers, {} dies)",
+            p.config_name, p.ssd_cache_mbps, p.channels, p.dram_buffers, p.total_dies
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig4_pcie_sweep");
+    group.sample_size(10);
+    let workload = sequential_write_workload(2_048);
+    for base in table2_configs().into_iter().map(steady_state) {
+        if !matches!(base.name.as_str(), "C1" | "C6" | "C10") {
+            continue;
+        }
+        let mut cfg = base;
+        cfg.host_interface = HostInterfaceConfig::nvme_gen2_x8();
+        cfg.cache_policy = CachePolicy::NoCache;
+        group.bench_with_input(BenchmarkId::new("nvme_no_cache", &cfg.name), &cfg, |b, cfg| {
+            let mut ssd = Ssd::new(cfg.clone());
+            b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

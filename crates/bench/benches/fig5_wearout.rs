@@ -1,0 +1,56 @@
+//! Fig. 5 — throughput over NAND flash wear-out, fixed vs adaptive BCH.
+//!
+//! Prints the read/write throughput of the 4-channel/2-way/4-die platform at
+//! several points of its rated endurance for both ECC schemes, then
+//! benchmarks the fresh and end-of-life read runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdx_bench::bench_workload;
+use ssdx_core::configs::fig5_config;
+use ssdx_core::{explorer, Ssd};
+use ssdx_ecc::EccScheme;
+use ssdx_hostif::AccessPattern;
+use std::hint::black_box;
+
+fn print_series() {
+    println!("\n=== Fig. 5: throughput vs normalized rated endurance ===");
+    let endurance: Vec<f64> = (0..=5).map(|i| i as f64 * 0.2).collect();
+    let base = fig5_config(EccScheme::fixed_bch(40));
+    let fixed = explorer::wearout_sweep(&base, EccScheme::fixed_bch(40), &endurance, 2_048);
+    let adaptive = explorer::wearout_sweep(&base, EccScheme::adaptive_bch(40), &endurance, 2_048);
+    println!(
+        "{:>10} {:>12} {:>12} {:>13} {:>13}",
+        "endurance", "fixed read", "adapt read", "fixed write", "adapt write"
+    );
+    for (f, a) in fixed.iter().zip(&adaptive) {
+        println!(
+            "{:>10.1} {:>7.1} MB/s {:>7.1} MB/s {:>8.1} MB/s {:>8.1} MB/s",
+            f.normalized_endurance, f.read_mbps, a.read_mbps, f.write_mbps, a.write_mbps
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig5_wearout");
+    group.sample_size(10);
+    let workload = bench_workload(AccessPattern::SequentialRead, 1_024);
+    for (label, ecc) in [
+        ("fixed_bch_40", EccScheme::fixed_bch(40)),
+        ("adaptive_bch_40", EccScheme::adaptive_bch(40)),
+    ] {
+        for (age_label, endurance) in [("fresh", 0.0), ("end_of_life", 1.0)] {
+            let cfg = fig5_config(ecc.clone());
+            group.bench_with_input(BenchmarkId::new(label, age_label), &cfg, |b, cfg| {
+                let mut ssd = Ssd::new(cfg.clone());
+                ssd.age_to_normalized(endurance);
+                b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Shared helpers for the SSDExplorer benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated Criterion
+//! bench target in `benches/`; the helpers here keep the workload sizing and
+//! the steady-state adjustments consistent across them. The full-size
+//! experiment runs (larger workloads, all configurations) live in the
+//! `experiments` binary: `cargo run --release -p ssdx-bench --bin experiments`.
+
+use ssdx_core::SsdConfig;
+use ssdx_hostif::{AccessPattern, Workload};
+
+/// Number of 4 KB commands used by the bench-sized sweeps (the `experiments`
+/// binary uses larger workloads for the recorded numbers).
+pub const BENCH_COMMANDS: u64 = 8_192;
+
+/// Shrinks the per-buffer write cache so that bench-sized workloads reach the
+/// flash-limited steady state instead of being absorbed by the cache.
+pub fn steady_state(mut cfg: SsdConfig) -> SsdConfig {
+    cfg.dram_buffer_capacity = 128 * 1024;
+    cfg
+}
+
+/// The canonical 4 KB sequential-write workload of the paper's sweeps.
+pub fn sequential_write_workload(commands: u64) -> Workload {
+    Workload::builder(AccessPattern::SequentialWrite)
+        .command_count(commands)
+        .build()
+}
+
+/// A 4 KB workload of the given pattern, sized for benching.
+pub fn bench_workload(pattern: AccessPattern, commands: u64) -> Workload {
+    Workload::builder(pattern)
+        .command_count(commands)
+        .footprint_bytes(4 << 30)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_shrinks_the_cache() {
+        let cfg = steady_state(SsdConfig::default());
+        assert_eq!(cfg.dram_buffer_capacity, 128 * 1024);
+    }
+
+    #[test]
+    fn workload_helpers_use_4kb_blocks() {
+        let w = sequential_write_workload(16);
+        assert_eq!(w.block_size, 4096);
+        assert_eq!(w.command_count, 16);
+        let r = bench_workload(AccessPattern::RandomRead, 8);
+        assert_eq!(r.command_count, 8);
+    }
+}

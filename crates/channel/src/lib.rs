@@ -1,0 +1,36 @@
+//! Channel/way controller model.
+//!
+//! To perform read/write operations on the NAND array, the SSD needs a
+//! controller that formats the CPU's commands into the ONFI protocol. The
+//! microarchitecture modelled here follows the industry IP the paper cites:
+//! an AMBA AHB slave program port, a Push-Pull DMA (PP-DMA) engine, an SRAM
+//! cache buffer, an ONFI 2.x port and a command translator. One
+//! [`ChannelController`] instance drives one NAND channel; the dies attached
+//! to it are organised into *ways* (chip-enable groups), interconnected
+//! either as a **shared bus gang** (all ways share the channel's data bus) or
+//! a **shared control gang** (ways have private data paths and only share
+//! command/control), the two schemes from Agrawal et al. that the paper
+//! supports.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_channel::{ChannelConfig, ChannelController};
+//! use ssdx_nand::{NandConfig, PageAddr, NandOp};
+//! use ssdx_sim::SimTime;
+//!
+//! let cfg = ChannelConfig::new(2, 2); // 2 ways, 2 dies per way
+//! let mut chan = ChannelController::new(0, cfg, NandConfig::default(), 7);
+//! let addr = PageAddr { plane: 0, block: 0, page: 0 };
+//! let done = chan.execute(SimTime::ZERO, 0, 0, NandOp::Program, addr, 4096);
+//! assert!(done.complete_at > SimTime::from_us(850));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod controller;
+
+pub use config::{ChannelConfig, GangMode};
+pub use controller::{ChannelController, ChannelError, ChannelOutcome, ChannelStats};

@@ -1,0 +1,390 @@
+//! Design-space exploration drivers.
+//!
+//! These helpers regenerate the series of the paper's optimal-design-point
+//! experiments: for every candidate configuration they produce the
+//! `DDR+FLASH`, `SSD cache` and `SSD no cache` columns, alongside the
+//! interface-level `ideal` and `+DDR` reference lines, and identify the
+//! cheapest configuration that saturates the host interface (the "optimal
+//! design point" the paper's Section IV-A is after).
+
+use crate::config::{CachePolicy, HostInterfaceConfig, SsdConfig};
+use crate::ssd::Ssd;
+use serde::{Deserialize, Serialize};
+use ssdx_ecc::EccScheme;
+use ssdx_hostif::{AccessPattern, Workload};
+
+/// One bar group of Fig. 3 / Fig. 4: the three throughput columns of a
+/// single SSD configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Configuration name (e.g. "C6").
+    pub config_name: String,
+    /// Architecture summary.
+    pub architecture: String,
+    /// Number of NAND channels.
+    pub channels: u32,
+    /// Number of DRAM data buffers.
+    pub dram_buffers: u32,
+    /// Total dies.
+    pub total_dies: u32,
+    /// Throughput of the DRAM-to-flash back end alone, MB/s.
+    pub ddr_flash_mbps: f64,
+    /// Host-visible throughput with the write cache enabled, MB/s.
+    pub ssd_cache_mbps: f64,
+    /// Host-visible throughput with no write cache, MB/s.
+    pub ssd_no_cache_mbps: f64,
+}
+
+impl SweepPoint {
+    /// Controller-side resource cost used to rank design points, as the
+    /// paper does: channels and DRAM buffers (controller pins, DRAM devices
+    /// and channel controllers) dominate the cost, the die count breaks
+    /// ties.
+    pub fn resource_cost(&self) -> (u32, u32) {
+        (self.channels + self.dram_buffers, self.total_dies)
+    }
+}
+
+/// The full result of sweeping one host interface across a set of
+/// configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSweep {
+    /// Host interface name.
+    pub interface: String,
+    /// Stand-alone ideal interface throughput, MB/s.
+    pub interface_ideal_mbps: f64,
+    /// Interface + DMA + DRAM best-case throughput, MB/s.
+    pub interface_plus_dram_mbps: f64,
+    /// Per-configuration columns.
+    pub points: Vec<SweepPoint>,
+}
+
+impl HostSweep {
+    /// The configurations that saturate the host interface: their cached
+    /// throughput reaches at least `threshold` (e.g. 0.95) of the
+    /// interface-plus-DRAM best case.
+    pub fn saturating_points(&self, threshold: f64) -> Vec<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.ssd_cache_mbps >= threshold * self.interface_plus_dram_mbps)
+            .collect()
+    }
+
+    /// The optimal design point: among the saturating configurations, the
+    /// one with the lowest resource cost (channels + DRAM buffers, dies as
+    /// tie-break); if none saturates, the cheapest configuration overall
+    /// (the paper's fallback when the no-cache SATA window flattens every
+    /// configuration).
+    pub fn optimal_design_point(&self, threshold: f64) -> Option<&SweepPoint> {
+        let saturating = self.saturating_points(threshold);
+        if saturating.is_empty() {
+            self.points.iter().min_by_key(|p| p.resource_cost())
+        } else {
+            saturating.into_iter().min_by_key(|p| p.resource_cost())
+        }
+    }
+
+    /// The Pareto-optimal design points of the cached throughput vs
+    /// controller resource cost trade-off: a point is kept if no other point
+    /// achieves at least its throughput at a lower or equal cost (used for
+    /// the PCIe experiment, where the host interface no longer saturates and
+    /// the search is driven by hardware cost).
+    pub fn pareto_front(&self) -> Vec<&SweepPoint> {
+        let mut front: Vec<&SweepPoint> = self
+            .points
+            .iter()
+            .filter(|candidate| {
+                !self.points.iter().any(|other| {
+                    let strictly_better_perf = other.ssd_cache_mbps > candidate.ssd_cache_mbps;
+                    let cheaper_or_equal = other.resource_cost() <= candidate.resource_cost();
+                    strictly_better_perf && cheaper_or_equal
+                })
+            })
+            .collect();
+        front.sort_by_key(|p| p.resource_cost());
+        front.dedup_by_key(|p| p.resource_cost());
+        front
+    }
+
+    /// Formats the sweep as an aligned text table (one row per
+    /// configuration), convenient for the experiment binaries.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "host interface      : {} (ideal {:.0} MB/s, +DDR {:.0} MB/s)\n",
+            self.interface, self.interface_ideal_mbps, self.interface_plus_dram_mbps
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<34} {:>12} {:>12} {:>14}\n",
+            "config", "architecture", "DDR+FLASH", "SSD cache", "SSD no cache"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<6} {:<34} {:>10.1} MB/s {:>10.1} MB/s {:>12.1} MB/s\n",
+                p.config_name,
+                p.architecture,
+                p.ddr_flash_mbps,
+                p.ssd_cache_mbps,
+                p.ssd_no_cache_mbps
+            ));
+        }
+        out
+    }
+}
+
+/// Sweeps `configs` under `host`, running the given workload for the
+/// DDR+FLASH, cached and no-cache variants of every configuration.
+pub fn sweep_host_interface(
+    host: HostInterfaceConfig,
+    configs: &[SsdConfig],
+    workload: &Workload,
+) -> HostSweep {
+    let mut points = Vec::with_capacity(configs.len());
+    let mut interface_ideal = 0.0;
+    let mut interface_plus_dram: f64 = 0.0;
+    for base in configs {
+        let mut cached_cfg = base.clone();
+        cached_cfg.host_interface = host;
+        cached_cfg.cache_policy = CachePolicy::WriteCache;
+        let mut no_cache_cfg = cached_cfg.clone();
+        no_cache_cfg.cache_policy = CachePolicy::NoCache;
+
+        let mut ssd = Ssd::new(cached_cfg);
+        interface_ideal = ssd.interface_ideal_mbps();
+        interface_plus_dram = interface_plus_dram.max(ssd.host_dram_only_mbps(workload));
+        let ddr_flash = ssd.flash_path_mbps(workload);
+        let cache_report = ssd.run(workload);
+
+        let mut ssd_nc = Ssd::new(no_cache_cfg);
+        let no_cache_report = ssd_nc.run(workload);
+
+        points.push(SweepPoint {
+            config_name: base.name.clone(),
+            architecture: base.architecture_label(),
+            channels: base.channels,
+            dram_buffers: base.dram_buffers,
+            total_dies: base.total_dies(),
+            ddr_flash_mbps: ddr_flash,
+            ssd_cache_mbps: cache_report.throughput_mbps,
+            ssd_no_cache_mbps: no_cache_report.throughput_mbps,
+        });
+    }
+    HostSweep {
+        interface: host.name(),
+        interface_ideal_mbps: interface_ideal,
+        interface_plus_dram_mbps: interface_plus_dram,
+        points,
+    }
+}
+
+/// One sample of the wear-out experiment (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearoutPoint {
+    /// Normalised rated endurance (0.0 fresh – 1.0 end of life).
+    pub normalized_endurance: f64,
+    /// Sequential-read throughput at this wear level, MB/s.
+    pub read_mbps: f64,
+    /// Sequential-write throughput at this wear level, MB/s.
+    pub write_mbps: f64,
+}
+
+/// Sweeps NAND wear from fresh to rated end of life for the given ECC
+/// scheme on `config`, measuring sequential read and write throughput at
+/// each point (the paper samples the normalised endurance axis 0.0–1.0).
+pub fn wearout_sweep(
+    config: &SsdConfig,
+    ecc: EccScheme,
+    endurance_points: &[f64],
+    commands_per_point: u64,
+) -> Vec<WearoutPoint> {
+    let mut cfg = config.clone();
+    cfg.ecc = ecc;
+    let mut ssd = Ssd::new(cfg);
+    let read_wl = Workload::builder(AccessPattern::SequentialRead)
+        .command_count(commands_per_point)
+        .build();
+    let write_wl = Workload::builder(AccessPattern::SequentialWrite)
+        .command_count(commands_per_point)
+        .build();
+    endurance_points
+        .iter()
+        .map(|&endurance| {
+            ssd.age_to_normalized(endurance);
+            let read = ssd.run(&read_wl).throughput_mbps;
+            let write = ssd.run(&write_wl).throughput_mbps;
+            WearoutPoint {
+                normalized_endurance: endurance,
+                read_mbps: read,
+                write_mbps: write,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    fn quick_workload() -> Workload {
+        Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(192)
+            .build()
+    }
+
+    fn small_table() -> Vec<SsdConfig> {
+        vec![
+            SsdConfig::builder("small")
+                .topology(2, 2, 1)
+                .dram_buffers(2)
+                .dram_buffer_capacity(128 * 1024)
+                .build()
+                .unwrap(),
+            SsdConfig::builder("large")
+                .topology(8, 4, 2)
+                .dram_buffers(8)
+                .dram_buffer_capacity(128 * 1024)
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_config() {
+        let sweep = sweep_host_interface(HostInterfaceConfig::Sata2, &small_table(), &quick_workload());
+        assert_eq!(sweep.points.len(), 2);
+        assert!(sweep.interface_ideal_mbps > 200.0);
+        assert!(sweep.interface_plus_dram_mbps > 0.0);
+        assert!(sweep.points[1].ddr_flash_mbps > sweep.points[0].ddr_flash_mbps);
+        let table = sweep.to_table();
+        assert!(table.contains("DDR+FLASH"));
+        assert!(table.contains("small"));
+    }
+
+    #[test]
+    fn optimal_design_point_prefers_cheapest_controller_among_saturating() {
+        let sweep = HostSweep {
+            interface: "test".to_string(),
+            interface_ideal_mbps: 280.0,
+            interface_plus_dram_mbps: 250.0,
+            points: vec![
+                SweepPoint {
+                    config_name: "tiny".into(),
+                    architecture: String::new(),
+                    channels: 2,
+                    dram_buffers: 2,
+                    total_dies: 8,
+                    ddr_flash_mbps: 50.0,
+                    ssd_cache_mbps: 50.0,
+                    ssd_no_cache_mbps: 40.0,
+                },
+                SweepPoint {
+                    config_name: "right".into(),
+                    architecture: String::new(),
+                    channels: 16,
+                    dram_buffers: 16,
+                    total_dies: 512,
+                    ddr_flash_mbps: 300.0,
+                    ssd_cache_mbps: 248.0,
+                    ssd_no_cache_mbps: 60.0,
+                },
+                SweepPoint {
+                    config_name: "huge".into(),
+                    architecture: String::new(),
+                    channels: 32,
+                    dram_buffers: 32,
+                    total_dies: 256,
+                    ddr_flash_mbps: 900.0,
+                    ssd_cache_mbps: 250.0,
+                    ssd_no_cache_mbps: 60.0,
+                },
+            ],
+        };
+        assert_eq!(sweep.saturating_points(0.95).len(), 2);
+        assert_eq!(sweep.optimal_design_point(0.95).unwrap().config_name, "right");
+    }
+
+    #[test]
+    fn optimal_design_point_falls_back_to_smallest_config() {
+        let sweep = HostSweep {
+            interface: "test".to_string(),
+            interface_ideal_mbps: 280.0,
+            interface_plus_dram_mbps: 250.0,
+            points: vec![
+                SweepPoint {
+                    config_name: "a".into(),
+                    architecture: String::new(),
+                    channels: 4,
+                    dram_buffers: 4,
+                    total_dies: 32,
+                    ddr_flash_mbps: 40.0,
+                    ssd_cache_mbps: 40.0,
+                    ssd_no_cache_mbps: 40.0,
+                },
+                SweepPoint {
+                    config_name: "b".into(),
+                    architecture: String::new(),
+                    channels: 8,
+                    dram_buffers: 8,
+                    total_dies: 64,
+                    ddr_flash_mbps: 60.0,
+                    ssd_cache_mbps: 60.0,
+                    ssd_no_cache_mbps: 42.0,
+                },
+            ],
+        };
+        assert!(sweep.saturating_points(0.95).is_empty());
+        assert_eq!(sweep.optimal_design_point(0.95).unwrap().config_name, "a");
+    }
+
+    #[test]
+    fn pareto_front_keeps_only_undominated_points() {
+        let mk = |name: &str, channels: u32, dies: u32, cache: f64| SweepPoint {
+            config_name: name.into(),
+            architecture: String::new(),
+            channels,
+            dram_buffers: channels,
+            total_dies: dies,
+            ddr_flash_mbps: cache,
+            ssd_cache_mbps: cache,
+            ssd_no_cache_mbps: cache,
+        };
+        let sweep = HostSweep {
+            interface: "test".to_string(),
+            interface_ideal_mbps: 3400.0,
+            interface_plus_dram_mbps: 1700.0,
+            points: vec![
+                mk("C1", 4, 32, 36.0),
+                mk("C5", 8, 512, 156.0),
+                // C3 has fewer dies than C5 (cheaper tie-break), so it stays
+                // on the front even though C5 is faster.
+                mk("C3", 8, 128, 147.0),
+                mk("C6", 16, 512, 314.0),
+                // C8 is dominated by C6: faster and cheaper on the
+                // controller side (fewer channels and buffers).
+                mk("C8", 32, 256, 304.0),
+                mk("C10", 32, 1024, 630.0),
+            ],
+        };
+        let front: Vec<&str> = sweep.pareto_front().iter().map(|p| p.config_name.as_str()).collect();
+        assert_eq!(front, vec!["C1", "C3", "C5", "C6", "C10"]);
+    }
+
+    #[test]
+    fn wearout_sweep_shows_adaptive_advantage_early_in_life() {
+        let cfg = configs::fig5_config(EccScheme::fixed_bch(40));
+        let points = [0.0, 1.0];
+        let fixed = wearout_sweep(&cfg, EccScheme::fixed_bch(40), &points, 96);
+        let adaptive = wearout_sweep(&cfg, EccScheme::adaptive_bch(40), &points, 96);
+        assert_eq!(fixed.len(), 2);
+        // Fresh device: adaptive reads faster.
+        assert!(adaptive[0].read_mbps > fixed[0].read_mbps);
+        // End of life: both run the worst-case code.
+        let ratio = adaptive[1].read_mbps / fixed[1].read_mbps;
+        assert!((0.85..1.15).contains(&ratio), "ratio = {ratio}");
+        // Writes are much less sensitive to the ECC choice than reads.
+        let write_gap = (adaptive[0].write_mbps - fixed[0].write_mbps).abs()
+            / fixed[0].write_mbps.max(1e-9);
+        assert!(write_gap < 0.15, "write gap = {write_gap}");
+    }
+}

@@ -1,0 +1,59 @@
+//! SSDExplorer core: a virtual platform for fine-grained design space
+//! exploration of Solid State Drives.
+//!
+//! This crate assembles the substrate models (NAND array, DDR2 buffers,
+//! AMBA AHB interconnect, controller CPU, channel/way controllers, ECC,
+//! compressor, host interfaces and the WAF-based FTL abstraction) into a
+//! complete SSD platform ([`Ssd`]) driven by a single configuration object
+//! ([`SsdConfig`]), and provides the exploration drivers that regenerate the
+//! paper's experiments:
+//!
+//! * [`explorer::sweep_host_interface`] — the optimal-design-point sweeps of
+//!   Figs. 3 and 4 over the Table II configurations ([`configs::table2_configs`]);
+//! * [`explorer::wearout_sweep`] — the ECC/wear-out study of Fig. 5;
+//! * [`speed::measure_kcps_sweep`] — the simulation-speed study of Fig. 6
+//!   over the Table III configurations ([`configs::table3_configs`]);
+//! * [`configs::ocz_vertex_like`] — the validation configuration of Fig. 2.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ssdx_core::{Ssd, SsdConfig};
+//! use ssdx_hostif::{AccessPattern, Workload};
+//!
+//! // A 4-channel SATA II drive with the write cache enabled.
+//! let config = SsdConfig::builder("demo")
+//!     .topology(4, 4, 2)
+//!     .dram_buffers(4)
+//!     .build()?;
+//! let mut ssd = Ssd::new(config);
+//!
+//! // 4 KB sequential writes, as in the paper's experiments.
+//! let workload = Workload::builder(AccessPattern::SequentialWrite)
+//!     .command_count(256)
+//!     .build();
+//! let report = ssd.run(&workload);
+//! println!("{report}");
+//! # Ok::<(), ssdx_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod configs;
+pub mod explorer;
+pub mod layout;
+pub mod report;
+pub mod speed;
+pub mod ssd;
+
+pub use config::{
+    CachePolicy, CompressorConfig, ConfigError, FtlMode, HostInterfaceConfig, SsdConfig,
+    SsdConfigBuilder,
+};
+pub use explorer::{sweep_host_interface, wearout_sweep, HostSweep, SweepPoint, WearoutPoint};
+pub use layout::{PageAllocator, PageTarget};
+pub use report::{PerfReport, UtilizationBreakdown};
+pub use speed::{measure_kcps, measure_kcps_sweep, SpeedPoint};
+pub use ssd::Ssd;

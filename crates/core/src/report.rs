@@ -1,0 +1,173 @@
+//! Performance reports: the per-component breakdown the paper's figures are
+//! built from.
+
+use serde::{Deserialize, Serialize};
+use ssdx_sim::stats::LatencyHistogram;
+use ssdx_sim::SimTime;
+use std::fmt;
+
+/// Per-component utilization summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationBreakdown {
+    /// Host-interface link utilization (0–1).
+    pub host_link: f64,
+    /// Average DRAM data-bus utilization across buffers (0–1).
+    pub dram: f64,
+    /// Controller CPU utilization (0–1).
+    pub cpu: f64,
+    /// AHB system-interconnect utilization (0–1).
+    pub ahb: f64,
+    /// Average ONFI channel-bus utilization (0–1).
+    pub channel_bus: f64,
+    /// Average NAND die (array) utilization (0–1).
+    pub die: f64,
+}
+
+/// The result of simulating one workload on one SSD configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Configuration name (e.g. "C6").
+    pub config_name: String,
+    /// Architecture summary (e.g. `16-DDR-buf;16-CHN;8-WAY;4-DIE`).
+    pub architecture: String,
+    /// Workload label (e.g. "SW" for sequential write).
+    pub workload: String,
+    /// DRAM-buffer policy label ("cache" / "no cache").
+    pub policy: String,
+    /// Host commands completed.
+    pub commands: u64,
+    /// Host payload bytes moved.
+    pub bytes: u64,
+    /// Simulated time from the first admission to the last completion.
+    pub elapsed: SimTime,
+    /// Host-visible throughput in MB/s (the paper's `SSD` column).
+    pub throughput_mbps: f64,
+    /// Host-visible I/O operations per second.
+    pub iops: f64,
+    /// Write amplification factor applied by the FTL abstraction.
+    pub waf: f64,
+    /// Physical NAND page programs issued (host + amplified traffic).
+    pub nand_page_programs: u64,
+    /// Physical NAND page reads issued.
+    pub nand_page_reads: u64,
+    /// End-to-end command latency distribution.
+    pub latency: LatencyHistogram,
+    /// Per-component utilization.
+    pub utilization: UtilizationBreakdown,
+}
+
+impl PerfReport {
+    /// Mean command latency.
+    pub fn mean_latency(&self) -> SimTime {
+        self.latency.mean()
+    }
+
+    /// Approximate 99th-percentile command latency.
+    pub fn p99_latency(&self) -> SimTime {
+        self.latency.percentile(99.0)
+    }
+
+    /// A compact single-line summary, handy for sweep printouts.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<18} {:<10} {:<9} {:>9.1} MB/s {:>11.0} IOPS  mean {:>10}  p99 {:>10}",
+            self.config_name,
+            self.workload,
+            self.policy,
+            self.throughput_mbps,
+            self.iops,
+            self.mean_latency(),
+            self.p99_latency(),
+        )
+    }
+}
+
+impl fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "configuration : {} ({})", self.config_name, self.architecture)?;
+        writeln!(f, "workload      : {} ({})", self.workload, self.policy)?;
+        writeln!(f, "commands      : {}", self.commands)?;
+        writeln!(f, "payload       : {:.1} MB", self.bytes as f64 / 1e6)?;
+        writeln!(f, "elapsed       : {}", self.elapsed)?;
+        writeln!(f, "throughput    : {:.1} MB/s ({:.0} IOPS)", self.throughput_mbps, self.iops)?;
+        writeln!(f, "write ampl.   : {:.2}", self.waf)?;
+        writeln!(
+            f,
+            "nand traffic  : {} programs, {} reads",
+            self.nand_page_programs, self.nand_page_reads
+        )?;
+        writeln!(
+            f,
+            "latency       : mean {}, p99 {}",
+            self.mean_latency(),
+            self.p99_latency()
+        )?;
+        writeln!(
+            f,
+            "utilization   : host {:.0}%  dram {:.0}%  cpu {:.0}%  ahb {:.0}%  channel {:.0}%  die {:.0}%",
+            self.utilization.host_link * 100.0,
+            self.utilization.dram * 100.0,
+            self.utilization.cpu * 100.0,
+            self.utilization.ahb * 100.0,
+            self.utilization.channel_bus * 100.0,
+            self.utilization.die * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PerfReport {
+        let mut latency = LatencyHistogram::new();
+        latency.record(SimTime::from_us(100));
+        latency.record(SimTime::from_us(300));
+        PerfReport {
+            config_name: "C1".to_string(),
+            architecture: "4-DDR-buf;4-CHN;4-WAY;2-DIE".to_string(),
+            workload: "SW".to_string(),
+            policy: "cache".to_string(),
+            commands: 2,
+            bytes: 8192,
+            elapsed: SimTime::from_us(400),
+            throughput_mbps: 20.48,
+            iops: 5000.0,
+            waf: 1.0,
+            nand_page_programs: 4,
+            nand_page_reads: 0,
+            latency,
+            utilization: UtilizationBreakdown {
+                host_link: 0.5,
+                dram: 0.1,
+                cpu: 0.2,
+                ahb: 0.05,
+                channel_bus: 0.3,
+                die: 0.6,
+            },
+        }
+    }
+
+    #[test]
+    fn latency_accessors() {
+        let r = report();
+        assert_eq!(r.mean_latency().as_us(), 200);
+        assert!(r.p99_latency() >= r.mean_latency());
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let text = report().to_string();
+        assert!(text.contains("C1"));
+        assert!(text.contains("SW"));
+        assert!(text.contains("MB/s"));
+        assert!(text.contains("utilization"));
+    }
+
+    #[test]
+    fn summary_line_is_single_line() {
+        let line = report().summary_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("C1"));
+    }
+}

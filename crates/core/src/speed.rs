@@ -1,0 +1,98 @@
+//! Simulation-speed metering (the paper's Fig. 6).
+//!
+//! The paper quantifies simulator performance in **Kilo-Cycles Per Second
+//! (KCPS)**: how many thousands of simulated controller-clock cycles the
+//! simulator advances per wall-clock second. The measurement here follows
+//! the same definition — simulated cycles are derived from the simulated
+//! time span at the 200 MHz controller clock — so the qualitative trend
+//! (simulation speed scales inversely with the amount of instantiated
+//! resources) can be compared directly with the paper.
+
+use crate::config::SsdConfig;
+use crate::ssd::Ssd;
+use serde::{Deserialize, Serialize};
+use ssdx_hostif::Workload;
+use ssdx_sim::Frequency;
+use std::time::Instant;
+
+/// Result of one simulation-speed measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedPoint {
+    /// Configuration name.
+    pub config_name: String,
+    /// Architecture summary.
+    pub architecture: String,
+    /// Total dies instantiated.
+    pub total_dies: u32,
+    /// Simulated controller-clock cycles covered by the run.
+    pub simulated_cycles: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+    /// Kilo-cycles of simulated time per wall-clock second.
+    pub kcps: f64,
+    /// Host-visible throughput of the measured run, MB/s.
+    pub throughput_mbps: f64,
+}
+
+/// Runs `workload` on `config` and measures the achieved simulation speed.
+pub fn measure_kcps(config: &SsdConfig, workload: &Workload) -> SpeedPoint {
+    let mut ssd = Ssd::new(config.clone());
+    let start = Instant::now();
+    let report = ssd.run(workload);
+    let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let clock = Frequency::from_mhz(200);
+    let simulated_cycles = clock.time_to_cycles(report.elapsed);
+    SpeedPoint {
+        config_name: config.name.clone(),
+        architecture: config.architecture_label(),
+        total_dies: config.total_dies(),
+        simulated_cycles,
+        wall_seconds,
+        kcps: simulated_cycles as f64 / 1_000.0 / wall_seconds,
+        throughput_mbps: report.throughput_mbps,
+    }
+}
+
+/// Measures every configuration in `configs` with the same workload.
+pub fn measure_kcps_sweep(configs: &[SsdConfig], workload: &Workload) -> Vec<SpeedPoint> {
+    configs.iter().map(|c| measure_kcps(c, workload)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdx_hostif::AccessPattern;
+
+    #[test]
+    fn kcps_is_positive_and_consistent() {
+        let cfg = SsdConfig::builder("speed-test")
+            .topology(2, 2, 1)
+            .dram_buffers(2)
+            .build()
+            .unwrap();
+        let workload = Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(128)
+            .build();
+        let point = measure_kcps(&cfg, &workload);
+        assert!(point.kcps > 0.0);
+        assert!(point.simulated_cycles > 0);
+        assert!(point.wall_seconds > 0.0);
+        let recomputed = point.simulated_cycles as f64 / 1_000.0 / point.wall_seconds;
+        assert!((recomputed - point.kcps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_covers_all_configs() {
+        let configs = vec![
+            SsdConfig::builder("a").topology(1, 1, 1).dram_buffers(1).build().unwrap(),
+            SsdConfig::builder("b").topology(2, 2, 2).dram_buffers(2).build().unwrap(),
+        ];
+        let workload = Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(64)
+            .build();
+        let points = measure_kcps_sweep(&configs, &workload);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].config_name, "a");
+        assert_eq!(points[1].total_dies, 8);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-bank row state machine.
+
+use crate::timing::DdrTimings;
+use serde::{Deserialize, Serialize};
+use ssdx_sim::SimTime;
+
+/// State of one DRAM bank: either all rows are precharged, or one row is
+/// open in the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankState {
+    /// No row is open.
+    Idle,
+    /// The given row is open in the row buffer.
+    ActiveRow(u64),
+}
+
+/// Categories of row-buffer outcome for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was idle; the row had to be activated.
+    Miss,
+    /// Another row was open; precharge then activate.
+    Conflict,
+}
+
+/// One DRAM bank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    ready_at: SimTime,
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+}
+
+impl Bank {
+    /// Creates an idle bank.
+    pub fn new() -> Self {
+        Bank {
+            state: BankState::Idle,
+            ready_at: SimTime::ZERO,
+            hits: 0,
+            misses: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Instant at which the bank can accept the next column command.
+    pub fn ready_at(&self) -> SimTime {
+        self.ready_at
+    }
+
+    /// Row-buffer hit/miss/conflict counts.
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.conflicts)
+    }
+
+    /// Performs the row-management part of an access to `row`, starting no
+    /// earlier than `at`. Returns the instant at which the column access
+    /// (CAS) can be issued and the row outcome.
+    pub fn open_row(&mut self, at: SimTime, row: u64, timings: &DdrTimings) -> (SimTime, RowOutcome) {
+        let start = at.max(self.ready_at);
+        let (ready, outcome) = match self.state {
+            BankState::ActiveRow(open) if open == row => {
+                self.hits += 1;
+                (start, RowOutcome::Hit)
+            }
+            BankState::Idle => {
+                self.misses += 1;
+                (start + timings.activate_time(), RowOutcome::Miss)
+            }
+            BankState::ActiveRow(_) => {
+                self.conflicts += 1;
+                (
+                    start + timings.precharge_time() + timings.activate_time(),
+                    RowOutcome::Conflict,
+                )
+            }
+        };
+        self.state = BankState::ActiveRow(row);
+        self.ready_at = ready;
+        (ready, outcome)
+    }
+
+    /// Marks the bank busy until `until` (column access + data burst).
+    pub fn occupy_until(&mut self, until: SimTime) {
+        if until > self.ready_at {
+            self.ready_at = until;
+        }
+    }
+
+    /// Forces a precharge (used by refresh).
+    pub fn precharge(&mut self, at: SimTime, timings: &DdrTimings) {
+        let start = at.max(self.ready_at);
+        self.state = BankState::Idle;
+        self.ready_at = start + timings.precharge_time();
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_a_miss_then_hits() {
+        let t = DdrTimings::ddr2_800();
+        let mut b = Bank::new();
+        let (ready, o) = b.open_row(SimTime::ZERO, 7, &t);
+        assert_eq!(o, RowOutcome::Miss);
+        assert_eq!(ready, t.activate_time());
+        let (ready2, o2) = b.open_row(ready, 7, &t);
+        assert_eq!(o2, RowOutcome::Hit);
+        assert_eq!(ready2, ready);
+    }
+
+    #[test]
+    fn switching_rows_is_a_conflict() {
+        let t = DdrTimings::ddr2_800();
+        let mut b = Bank::new();
+        let (r1, _) = b.open_row(SimTime::ZERO, 1, &t);
+        let (r2, o) = b.open_row(r1, 2, &t);
+        assert_eq!(o, RowOutcome::Conflict);
+        assert_eq!(r2, r1 + t.precharge_time() + t.activate_time());
+        assert_eq!(b.outcome_counts(), (0, 1, 1));
+    }
+
+    #[test]
+    fn occupy_until_only_extends() {
+        let mut b = Bank::new();
+        b.occupy_until(SimTime::from_ns(100));
+        b.occupy_until(SimTime::from_ns(50));
+        assert_eq!(b.ready_at(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn precharge_closes_the_row() {
+        let t = DdrTimings::ddr2_800();
+        let mut b = Bank::new();
+        b.open_row(SimTime::ZERO, 3, &t);
+        b.precharge(SimTime::from_ns(100), &t);
+        assert_eq!(b.state(), BankState::Idle);
+        assert_eq!(b.ready_at(), SimTime::from_ns(100) + t.precharge_time());
+    }
+}

@@ -1,0 +1,241 @@
+//! The DRAM buffer front end used by the SSD data path.
+
+use crate::bank::{Bank, RowOutcome};
+use crate::timing::DdrTimings;
+use serde::{Deserialize, Serialize};
+use ssdx_sim::SimTime;
+
+/// Direction of a buffer access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Data written into the buffer (e.g. host data landing in the cache).
+    Write,
+    /// Data read out of the buffer (e.g. data leaving toward the NAND).
+    Read,
+}
+
+/// Timing outcome of one buffer access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// When the access started being serviced.
+    pub start: SimTime,
+    /// When the last burst of data completed.
+    pub end: SimTime,
+    /// Number of DRAM bursts the transfer required.
+    pub bursts: u32,
+    /// Row-buffer hits among those bursts.
+    pub row_hits: u32,
+}
+
+/// Aggregate statistics for one DRAM buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Total accesses serviced.
+    pub accesses: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Total busy time on the data bus.
+    pub bus_busy: SimTime,
+    /// Number of refresh operations performed.
+    pub refreshes: u64,
+}
+
+/// One DDR2 data buffer (one DRAM device/rank behind its own controller).
+///
+/// The paper upper-bounds the number of buffers by the number of channels
+/// served by the disk controller; the SSD model instantiates as many
+/// `DramBuffer`s as the configuration requests and stripes traffic across
+/// them.
+#[derive(Debug, Clone)]
+pub struct DramBuffer {
+    id: u32,
+    timings: DdrTimings,
+    banks: Vec<Bank>,
+    data_bus_free: SimTime,
+    next_refresh: SimTime,
+    stats: DramStats,
+}
+
+impl DramBuffer {
+    /// Creates an idle buffer with the given identifier and timing set.
+    pub fn new(id: u32, timings: DdrTimings) -> Self {
+        let banks = (0..timings.banks).map(|_| Bank::new()).collect();
+        DramBuffer {
+            id,
+            timings,
+            banks,
+            data_bus_free: SimTime::ZERO,
+            next_refresh: timings.refresh_interval(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Buffer identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Timing set in use.
+    pub fn timings(&self) -> &DdrTimings {
+        &self.timings
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Earliest instant the data bus is free.
+    pub fn bus_free_at(&self) -> SimTime {
+        self.data_bus_free
+    }
+
+    fn map_address(&self, addr: u64, burst_index: u32) -> (usize, u64) {
+        // Simple interleaved mapping: consecutive bursts rotate across banks,
+        // rows advance every `row_bytes`.
+        let burst_addr = addr + burst_index as u64 * self.timings.burst_bytes() as u64;
+        let bank = (burst_addr / self.timings.burst_bytes() as u64) % self.timings.banks as u64;
+        let row = burst_addr / self.timings.row_bytes as u64;
+        (bank as usize, row)
+    }
+
+    fn refresh_if_due(&mut self, now: SimTime) {
+        while now >= self.next_refresh {
+            let at = self.next_refresh;
+            for bank in &mut self.banks {
+                bank.precharge(at, &self.timings);
+                bank.occupy_until(at + self.timings.refresh_time());
+            }
+            self.data_bus_free = self.data_bus_free.max(at + self.timings.refresh_time());
+            self.next_refresh += self.timings.refresh_interval();
+            self.stats.refreshes += 1;
+        }
+    }
+
+    /// Performs an access of `bytes` bytes starting at buffer address `addr`,
+    /// beginning no earlier than `at`.
+    ///
+    /// The transfer is split into DRAM bursts; each burst pays the row
+    /// activation cost its bank requires (hit/miss/conflict) plus CAS latency
+    /// and bus occupancy. Refresh windows that became due before `at` stall
+    /// the whole device.
+    pub fn access(&mut self, at: SimTime, addr: u64, bytes: u32, _kind: AccessKind) -> AccessOutcome {
+        self.refresh_if_due(at);
+        let bursts = bytes.div_ceil(self.timings.burst_bytes()).max(1);
+        let mut cursor = at;
+        let mut first_start = None;
+        let mut row_hits = 0;
+        for i in 0..bursts {
+            let (bank_idx, row) = self.map_address(addr, i);
+            let (cas_ready, outcome) = self.banks[bank_idx].open_row(cursor, row, &self.timings);
+            if outcome == RowOutcome::Hit {
+                row_hits += 1;
+            }
+            let data_start = (cas_ready + self.timings.cas_time()).max(self.data_bus_free);
+            let data_end = data_start + self.timings.burst_time();
+            self.banks[bank_idx].occupy_until(data_end);
+            self.data_bus_free = data_end;
+            self.stats.bus_busy += self.timings.burst_time();
+            if first_start.is_none() {
+                first_start = Some(data_start);
+            }
+            cursor = data_end;
+        }
+        self.stats.accesses += 1;
+        self.stats.bytes += bytes as u64;
+        AccessOutcome {
+            start: first_start.unwrap_or(at),
+            end: cursor,
+            bursts,
+            row_hits,
+        }
+    }
+
+    /// Effective bandwidth observed so far over `elapsed` simulated time, in
+    /// bytes per second.
+    pub fn effective_bandwidth(&self, elapsed: SimTime) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.stats.bytes as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Resets dynamic state (row buffers, bus, statistics).
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = Bank::new();
+        }
+        self.data_bus_free = SimTime::ZERO;
+        self.next_refresh = self.timings.refresh_interval();
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> DramBuffer {
+        DramBuffer::new(0, DdrTimings::ddr2_800())
+    }
+
+    #[test]
+    fn access_takes_longer_than_pure_burst_time() {
+        let mut b = buf();
+        let o = b.access(SimTime::ZERO, 0, 4096, AccessKind::Write);
+        // 4096 / 64 = 64 bursts, each 10 ns on the bus -> at least 640 ns.
+        assert_eq!(o.bursts, 64);
+        assert!(o.end >= SimTime::from_ns(640));
+        // But well under 10 µs: the DRAM is not the bottleneck of the SSD.
+        assert!(o.end < SimTime::from_us(10));
+    }
+
+    #[test]
+    fn sequential_accesses_mostly_hit_the_row_buffer() {
+        let mut b = buf();
+        b.access(SimTime::ZERO, 0, 4096, AccessKind::Write);
+        let o2 = b.access(SimTime::from_us(10), 0, 4096, AccessKind::Read);
+        assert!(o2.row_hits > o2.bursts / 2, "row hits = {}/{}", o2.row_hits, o2.bursts);
+    }
+
+    #[test]
+    fn small_access_still_one_burst() {
+        let mut b = buf();
+        let o = b.access(SimTime::ZERO, 128, 16, AccessKind::Read);
+        assert_eq!(o.bursts, 1);
+    }
+
+    #[test]
+    fn refresh_happens_periodically() {
+        let mut b = buf();
+        b.access(SimTime::from_ms(1), 0, 64, AccessKind::Write);
+        // 1 ms / 7.8 µs ≈ 128 refreshes due before the access.
+        assert!(b.stats().refreshes >= 120, "refreshes = {}", b.stats().refreshes);
+    }
+
+    #[test]
+    fn bus_is_shared_across_accesses() {
+        let mut b = buf();
+        let o1 = b.access(SimTime::ZERO, 0, 4096, AccessKind::Write);
+        let o2 = b.access(SimTime::ZERO, 1 << 20, 4096, AccessKind::Write);
+        assert!(o2.start >= o1.end - SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut b = buf();
+        b.access(SimTime::ZERO, 0, 4096, AccessKind::Write);
+        assert_eq!(b.stats().accesses, 1);
+        assert_eq!(b.stats().bytes, 4096);
+        assert!(b.effective_bandwidth(SimTime::from_us(10)) > 0.0);
+        b.reset();
+        assert_eq!(b.stats().accesses, 0);
+        assert_eq!(b.bus_free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn effective_bandwidth_zero_horizon() {
+        let b = buf();
+        assert_eq!(b.effective_bandwidth(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! DDR2 SDRAM data-buffer model.
+//!
+//! SSDExplorer models its data buffers with a cycle-accurate DRAM simulator
+//! (a SystemC port of DRAMSim2) because realistic buffer behaviour — row
+//! activation and precharge, CAS latency, periodic refresh — measurably
+//! shifts the SSD-level performance picture. This crate provides the
+//! equivalent model: a [`DdrTimings`] parameter set, a per-bank row state
+//! machine ([`bank::Bank`]), and the [`DramBuffer`] front end the rest of the
+//! platform talks to.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_dram::{DramBuffer, DdrTimings};
+//! use ssdx_sim::SimTime;
+//!
+//! let mut buf = DramBuffer::new(0, DdrTimings::ddr2_800());
+//! let write = buf.access(SimTime::ZERO, 0x0000, 4096, ssdx_dram::AccessKind::Write);
+//! assert!(write.end > write.start);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bank;
+pub mod buffer;
+pub mod timing;
+
+pub use bank::{Bank, BankState};
+pub use buffer::{AccessKind, AccessOutcome, DramBuffer, DramStats};
+pub use timing::DdrTimings;

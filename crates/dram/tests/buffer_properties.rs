@@ -1,0 +1,98 @@
+//! Property-based tests of the DDR2 buffer model: bandwidth bounds, bus
+//! serialisation, refresh bookkeeping and row-buffer behaviour.
+
+use proptest::prelude::*;
+use ssdx_dram::{AccessKind, Bank, BankState, DdrTimings, DramBuffer};
+use ssdx_sim::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accesses_never_exceed_peak_bandwidth(
+        accesses in prop::collection::vec((0u64..(1 << 24), 64u32..16_384), 1..80)
+    ) {
+        let timings = DdrTimings::ddr2_800();
+        let mut buffer = DramBuffer::new(0, timings);
+        let mut last_end = SimTime::ZERO;
+        let mut total_bytes = 0u64;
+        for (addr, bytes) in accesses {
+            let outcome = buffer.access(last_end, addr, bytes, AccessKind::Write);
+            prop_assert!(outcome.end > outcome.start || bytes == 0);
+            last_end = outcome.end;
+            total_bytes += bytes as u64;
+        }
+        let implied_bw = total_bytes as f64 / last_end.as_secs_f64();
+        prop_assert!(implied_bw <= timings.peak_bandwidth() as f64 * 1.001,
+            "implied {implied_bw} exceeds peak {}", timings.peak_bandwidth());
+    }
+
+    #[test]
+    fn burst_count_matches_transfer_size(bytes in 1u32..100_000) {
+        let timings = DdrTimings::ddr2_800();
+        let mut buffer = DramBuffer::new(0, timings);
+        let outcome = buffer.access(SimTime::ZERO, 0, bytes, AccessKind::Read);
+        prop_assert_eq!(outcome.bursts, bytes.div_ceil(timings.burst_bytes()).max(1));
+        prop_assert!(outcome.row_hits <= outcome.bursts);
+    }
+
+    #[test]
+    fn refresh_count_tracks_elapsed_time(gap_us in 1u64..2_000) {
+        let timings = DdrTimings::ddr2_800();
+        let mut buffer = DramBuffer::new(0, timings);
+        buffer.access(SimTime::from_us(gap_us), 0, 64, AccessKind::Write);
+        let expected = SimTime::from_us(gap_us).as_ns() / timings.t_refi_ns;
+        let refreshes = buffer.stats().refreshes;
+        prop_assert!(refreshes >= expected.saturating_sub(1));
+        prop_assert!(refreshes <= expected + 1);
+    }
+
+    #[test]
+    fn bank_ready_time_never_regresses(rows in prop::collection::vec(0u64..64, 1..60)) {
+        let timings = DdrTimings::ddr2_800();
+        let mut bank = Bank::new();
+        let mut previous = SimTime::ZERO;
+        for row in rows {
+            let (ready, _) = bank.open_row(previous, row, &timings);
+            prop_assert!(ready >= previous);
+            previous = ready;
+            prop_assert!(matches!(bank.state(), BankState::ActiveRow(r) if r == row));
+        }
+    }
+}
+
+#[test]
+fn row_conflicts_cost_more_than_hits() {
+    let timings = DdrTimings::ddr2_800();
+    let mut hit_buffer = DramBuffer::new(0, timings);
+    let mut conflict_buffer = DramBuffer::new(1, timings);
+
+    // Same-row stream: mostly hits.
+    let mut hit_end = SimTime::ZERO;
+    for i in 0..64u64 {
+        hit_end = hit_buffer.access(hit_end, i * 64, 64, AccessKind::Read).end;
+    }
+    // Row-thrashing stream: every access lands on a new row of the same bank.
+    let mut conflict_end = SimTime::ZERO;
+    for i in 0..64u64 {
+        let addr = i * timings.row_bytes as u64 * timings.banks as u64;
+        conflict_end = conflict_buffer.access(conflict_end, addr, 64, AccessKind::Read).end;
+    }
+    assert!(
+        conflict_end > hit_end + SimTime::from_ns(500),
+        "row thrashing ({conflict_end}) must cost more than row hits ({hit_end})"
+    );
+}
+
+#[test]
+fn faster_grade_finishes_the_same_work_sooner() {
+    let mut ddr800 = DramBuffer::new(0, DdrTimings::ddr2_800());
+    let mut ddr533 = DramBuffer::new(0, DdrTimings::ddr2_533());
+    let mut end800 = SimTime::ZERO;
+    let mut end533 = SimTime::ZERO;
+    for i in 0..256u64 {
+        end800 = ddr800.access(end800, i * 4096, 4096, AccessKind::Write).end;
+        end533 = ddr533.access(end533, i * 4096, 4096, AccessKind::Write).end;
+    }
+    assert!(end800 < end533);
+}

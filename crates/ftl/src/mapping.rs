@@ -1,0 +1,487 @@
+//! A real page-mapped FTL: logical-to-physical mapping, greedy garbage
+//! collection and dynamic wear leveling.
+//!
+//! SSDExplorer supports both the WAF abstraction and an actual FTL executed
+//! by the platform CPU. This module provides the latter as a self-contained,
+//! functional translation layer operating on an abstract physical page space
+//! (blocks × pages per block); the SSD model charges its decisions with NAND
+//! timing, while unit and property tests use it standalone to verify mapping
+//! invariants and to cross-check the analytic WAF model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors reported by the page-mapped FTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The logical page address is beyond the exported capacity.
+    LbaOutOfRange,
+    /// The device has no free block left even after garbage collection
+    /// (can only happen if over-provisioning is zero).
+    OutOfSpace,
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::LbaOutOfRange => write!(f, "logical page address out of range"),
+            FtlError::OutOfSpace => write!(f, "no free physical block available"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+/// Counters describing the work the FTL has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Host page writes accepted.
+    pub host_writes: u64,
+    /// Physical page programs issued (host writes + GC relocations).
+    pub nand_writes: u64,
+    /// Page relocations performed by the garbage collector.
+    pub gc_relocations: u64,
+    /// Page relocations performed by the static wear leveler (cold data
+    /// moved so that low-erase-count blocks re-enter the rotation).
+    pub wear_level_moves: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// TRIM commands processed.
+    pub trims: u64,
+}
+
+impl FtlStats {
+    /// Measured write amplification factor so far (1.0 when no host writes
+    /// have been issued yet).
+    pub fn waf(&self) -> f64 {
+        if self.host_writes == 0 {
+            1.0
+        } else {
+            self.nand_writes as f64 / self.host_writes as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Free,
+    Valid(u64),
+    Invalid,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    pages: Vec<PageState>,
+    write_ptr: u32,
+    valid: u32,
+    erase_count: u64,
+}
+
+impl Block {
+    fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: vec![PageState::Free; pages_per_block as usize],
+            write_ptr: 0,
+            valid: 0,
+            erase_count: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.write_ptr as usize >= self.pages.len()
+    }
+
+    fn invalid_count(&self) -> u32 {
+        self.write_ptr - self.valid
+    }
+}
+
+/// A page-mapped flash translation layer.
+///
+/// Physical space is organised as `blocks × pages_per_block` pages; a
+/// fraction of the blocks is reserved as over-provisioning and never exported
+/// to the host. Writes always go to the current open block (appended
+/// log-style); when free blocks run low, the greedy collector reclaims the
+/// block with the most invalid pages, relocating its still-valid pages.
+/// Wear leveling is both dynamic (the freshest erase-count block is chosen
+/// when a new open block is needed) and static (when the erase-count spread
+/// exceeds a threshold, the coldest full block is relocated and erased so it
+/// re-enters the rotation). Host writes and garbage-collection relocations
+/// use separate open blocks so that hot host data and cold relocated data do
+/// not mix (and so collection never re-enters itself).
+#[derive(Debug, Clone)]
+pub struct PageMappedFtl {
+    pages_per_block: u32,
+    blocks: Vec<Block>,
+    mapping: HashMap<u64, (u32, u32)>,
+    open_block: u32,
+    gc_open_block: u32,
+    free_blocks: Vec<u32>,
+    logical_pages: u64,
+    gc_threshold: usize,
+    wear_level_threshold: u64,
+    stats: FtlStats,
+}
+
+impl PageMappedFtl {
+    /// Creates an FTL over `blocks` physical blocks of `pages_per_block`
+    /// pages, exporting `1 / (1 + over_provisioning)` of the capacity to the
+    /// host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks < 8`, `pages_per_block == 0` or
+    /// `over_provisioning <= 0`.
+    pub fn new(blocks: u32, pages_per_block: u32, over_provisioning: f64) -> Self {
+        assert!(blocks >= 8, "need at least 8 physical blocks");
+        assert!(pages_per_block > 0, "pages per block must be non-zero");
+        assert!(
+            over_provisioning > 0.0,
+            "over-provisioning must be positive for garbage collection to make progress"
+        );
+        let physical_pages = blocks as u64 * pages_per_block as u64;
+        let logical_pages =
+            ((physical_pages as f64 / (1.0 + over_provisioning)).floor() as u64).max(1);
+        let all_blocks: Vec<Block> = (0..blocks).map(|_| Block::new(pages_per_block)).collect();
+        let free_blocks: Vec<u32> = (2..blocks).rev().collect();
+        let gc_threshold = 2.max(blocks as usize / 32);
+        PageMappedFtl {
+            wear_level_threshold: 16,
+            pages_per_block,
+            blocks: all_blocks,
+            mapping: HashMap::new(),
+            open_block: 0,
+            gc_open_block: 1,
+            free_blocks,
+            logical_pages,
+            gc_threshold,
+            stats: FtlStats::default(),
+        }
+    }
+
+    /// Number of logical pages exported to the host.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Pages per physical block.
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    /// Current physical location of a logical page, if it has been written.
+    pub fn lookup(&self, lpn: u64) -> Option<(u32, u32)> {
+        self.mapping.get(&lpn).copied()
+    }
+
+    /// Highest erase count across all blocks (wear-leveling quality metric).
+    pub fn max_erase_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+    }
+
+    /// Lowest erase count across all blocks.
+    pub fn min_erase_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count).min().unwrap_or(0)
+    }
+
+    fn invalidate(&mut self, lpn: u64) {
+        if let Some((blk, page)) = self.mapping.remove(&lpn) {
+            let block = &mut self.blocks[blk as usize];
+            block.pages[page as usize] = PageState::Invalid;
+            block.valid -= 1;
+        }
+    }
+
+    /// Removes the lowest-erase-count block from the free pool (dynamic wear
+    /// leveling).
+    fn take_free_block(&mut self) -> Result<u32, FtlError> {
+        let (pos, _) = self
+            .free_blocks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| self.blocks[b as usize].erase_count)
+            .ok_or(FtlError::OutOfSpace)?;
+        Ok(self.free_blocks.swap_remove(pos))
+    }
+
+    /// Appends `lpn` to the block `blk`, which must not be full.
+    fn raw_append_to(&mut self, blk: u32, lpn: u64) -> (u32, u32) {
+        let block = &mut self.blocks[blk as usize];
+        debug_assert!(!block.is_full(), "raw_append_to requires a non-full block");
+        let page = block.write_ptr;
+        block.pages[page as usize] = PageState::Valid(lpn);
+        block.write_ptr += 1;
+        block.valid += 1;
+        self.mapping.insert(lpn, (blk, page));
+        self.stats.nand_writes += 1;
+        (blk, page)
+    }
+
+    fn append(&mut self, lpn: u64) -> Result<(u32, u32), FtlError> {
+        if self.blocks[self.open_block as usize].is_full() {
+            // Reclaim space first if the free pool is running low, then
+            // switch to a fresh open block.
+            while self.free_blocks.len() <= self.gc_threshold {
+                if !self.collect_one_victim()? {
+                    break;
+                }
+            }
+            self.maybe_wear_level()?;
+            self.open_block = self.take_free_block()?;
+        }
+        Ok(self.raw_append_to(self.open_block, lpn))
+    }
+
+    /// Static wear leveling: when the erase-count spread across the array
+    /// exceeds the threshold, relocate the coldest full block so it rejoins
+    /// the free pool and starts absorbing erases.
+    fn maybe_wear_level(&mut self) -> Result<(), FtlError> {
+        if self.max_erase_count() - self.min_erase_count() < self.wear_level_threshold {
+            return Ok(());
+        }
+        let coldest = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                *i as u32 != self.open_block && *i as u32 != self.gc_open_block && b.is_full()
+            })
+            .min_by_key(|(_, b)| b.erase_count)
+            .map(|(i, _)| i as u32);
+        if let Some(victim) = coldest {
+            let moved = self.reclaim_block(victim)?;
+            self.stats.wear_level_moves += moved;
+            self.stats.gc_relocations -= moved;
+        }
+        Ok(())
+    }
+
+    /// Reclaims the single best victim block (greedy policy: the full block
+    /// with the most invalid pages). Returns `Ok(false)` when no block is
+    /// worth collecting (no full block carries an invalid page).
+    fn collect_one_victim(&mut self) -> Result<bool, FtlError> {
+        // Blocks in the free pool are never full, so filtering on fullness
+        // also excludes them; the two open blocks are excluded explicitly.
+        let victim = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                *i as u32 != self.open_block && *i as u32 != self.gc_open_block && b.is_full()
+            })
+            .max_by_key(|(_, b)| b.invalid_count())
+            .filter(|(_, b)| b.invalid_count() > 0)
+            .map(|(i, _)| i as u32);
+        let Some(victim) = victim else {
+            return Ok(false);
+        };
+        self.reclaim_block(victim)?;
+        Ok(true)
+    }
+
+    /// Relocates every valid page of `victim` into the GC open block, erases
+    /// it and returns it to the free pool. Returns the number of pages
+    /// relocated. Relocation never re-enters collection: it takes fresh
+    /// blocks straight from the free pool.
+    fn reclaim_block(&mut self, victim: u32) -> Result<u64, FtlError> {
+        let victims: Vec<u64> = self.blocks[victim as usize]
+            .pages
+            .iter()
+            .filter_map(|p| match p {
+                PageState::Valid(lpn) => Some(*lpn),
+                _ => None,
+            })
+            .collect();
+        let moved = victims.len() as u64;
+        for lpn in victims {
+            self.invalidate(lpn);
+            if self.blocks[self.gc_open_block as usize].is_full() {
+                self.gc_open_block = self.take_free_block()?;
+            }
+            self.raw_append_to(self.gc_open_block, lpn);
+            self.stats.gc_relocations += 1;
+        }
+        // Erase the victim and return it to the free pool.
+        let block = &mut self.blocks[victim as usize];
+        for p in &mut block.pages {
+            *p = PageState::Free;
+        }
+        block.write_ptr = 0;
+        block.valid = 0;
+        block.erase_count += 1;
+        self.stats.erases += 1;
+        self.free_blocks.push(victim);
+        Ok(moved)
+    }
+
+    /// Writes one logical page, returning its new physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LbaOutOfRange`] if `lpn` exceeds the exported
+    /// capacity, or [`FtlError::OutOfSpace`] if no block can be reclaimed.
+    pub fn write(&mut self, lpn: u64) -> Result<(u32, u32), FtlError> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        self.invalidate(lpn);
+        self.stats.host_writes += 1;
+        self.append(lpn)
+    }
+
+    /// Reads one logical page, returning its physical location if mapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LbaOutOfRange`] if `lpn` exceeds the exported
+    /// capacity.
+    pub fn read(&self, lpn: u64) -> Result<Option<(u32, u32)>, FtlError> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        Ok(self.lookup(lpn))
+    }
+
+    /// TRIMs (discards) one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LbaOutOfRange`] if `lpn` exceeds the exported
+    /// capacity.
+    pub fn trim(&mut self, lpn: u64) -> Result<(), FtlError> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        self.invalidate(lpn);
+        self.stats.trims += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ftl() -> PageMappedFtl {
+        PageMappedFtl::new(64, 32, 0.25)
+    }
+
+    #[test]
+    fn capacity_reflects_over_provisioning() {
+        let ftl = small_ftl();
+        // 64*32 = 2048 physical pages, /1.25 = 1638 logical.
+        assert_eq!(ftl.logical_pages(), 1638);
+    }
+
+    #[test]
+    fn write_then_read_back_same_location() {
+        let mut ftl = small_ftl();
+        let loc = ftl.write(10).unwrap();
+        assert_eq!(ftl.read(10).unwrap(), Some(loc));
+        assert_eq!(ftl.read(11).unwrap(), None);
+    }
+
+    #[test]
+    fn rewrite_moves_the_page_and_invalidates_old_copy() {
+        let mut ftl = small_ftl();
+        let first = ftl.write(5).unwrap();
+        let second = ftl.write(5).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(ftl.lookup(5), Some(second));
+    }
+
+    #[test]
+    fn out_of_range_lba_is_rejected() {
+        let mut ftl = small_ftl();
+        let bad = ftl.logical_pages();
+        assert_eq!(ftl.write(bad), Err(FtlError::LbaOutOfRange));
+        assert_eq!(ftl.read(bad), Err(FtlError::LbaOutOfRange));
+        assert_eq!(ftl.trim(bad), Err(FtlError::LbaOutOfRange));
+    }
+
+    #[test]
+    fn trim_unmaps_the_page() {
+        let mut ftl = small_ftl();
+        ftl.write(3).unwrap();
+        ftl.trim(3).unwrap();
+        assert_eq!(ftl.lookup(3), None);
+        assert_eq!(ftl.stats().trims, 1);
+    }
+
+    #[test]
+    fn sequential_overwrites_have_waf_near_one() {
+        let mut ftl = small_ftl();
+        // Fill the logical space sequentially three times.
+        for _round in 0..3 {
+            for lpn in 0..ftl.logical_pages() {
+                ftl.write(lpn).unwrap();
+            }
+        }
+        let waf = ftl.stats().waf();
+        assert!(waf < 1.2, "sequential WAF should stay near 1, got {waf}");
+    }
+
+    #[test]
+    fn random_overwrites_amplify_writes() {
+        let mut ftl = small_ftl();
+        // Prime the drive, then hammer it with uniform random overwrites.
+        for lpn in 0..ftl.logical_pages() {
+            ftl.write(lpn).unwrap();
+        }
+        let mut rng = ssdx_sim::rng::SimRng::new(99);
+        for _ in 0..20_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            ftl.write(lpn).unwrap();
+        }
+        let waf = ftl.stats().waf();
+        assert!(waf > 1.3, "random WAF should exceed 1.3, got {waf}");
+        assert!(ftl.stats().erases > 0);
+        assert!(ftl.stats().gc_relocations > 0);
+    }
+
+    #[test]
+    fn wear_leveling_keeps_erase_counts_close() {
+        let mut ftl = small_ftl();
+        for lpn in 0..ftl.logical_pages() {
+            ftl.write(lpn).unwrap();
+        }
+        let mut rng = ssdx_sim::rng::SimRng::new(7);
+        for _ in 0..30_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            ftl.write(lpn).unwrap();
+        }
+        let spread = ftl.max_erase_count() - ftl.min_erase_count();
+        assert!(
+            spread <= ftl.max_erase_count().max(4),
+            "erase counts should stay within a reasonable band (spread {spread})"
+        );
+    }
+
+    #[test]
+    fn mapping_is_injective() {
+        let mut ftl = small_ftl();
+        let mut rng = ssdx_sim::rng::SimRng::new(5);
+        for _ in 0..5_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            ftl.write(lpn).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for lpn in 0..ftl.logical_pages() {
+            if let Some(loc) = ftl.lookup(lpn) {
+                assert!(seen.insert(loc), "two LBAs map to the same physical page");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "over-provisioning must be positive")]
+    fn zero_op_rejected() {
+        let _ = PageMappedFtl::new(8, 8, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Command/data trace player.
+//!
+//! Both host interface models include a trace player which parses a file
+//! containing the operations to be performed and triggers them during
+//! simulation. The trace format is a plain text file with one command per
+//! line:
+//!
+//! ```text
+//! # time_us  op     offset_bytes  size_bytes
+//! 0          write  0             4096
+//! 120        read   8192          4096
+//! 250        trim   0             65536
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored.
+
+use crate::command::{HostCommand, HostOp};
+use ssdx_sim::SimTime;
+use std::fmt;
+
+/// Error produced while parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// A parsed trace ready to be replayed against the SSD model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TracePlayer {
+    commands: Vec<HostCommand>,
+}
+
+impl TracePlayer {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        TracePlayer::default()
+    }
+
+    /// Parses a trace from its textual representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] describing the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, ParseTraceError> {
+        let mut commands = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(ParseTraceError {
+                    line: line_no,
+                    reason: format!("expected 4 fields, found {}", fields.len()),
+                });
+            }
+            let time_us: u64 = fields[0].parse().map_err(|_| ParseTraceError {
+                line: line_no,
+                reason: format!("invalid timestamp `{}`", fields[0]),
+            })?;
+            let op = match fields[1].to_ascii_lowercase().as_str() {
+                "read" | "r" => HostOp::Read,
+                "write" | "w" => HostOp::Write,
+                "trim" | "t" | "discard" => HostOp::Trim,
+                other => {
+                    return Err(ParseTraceError {
+                        line: line_no,
+                        reason: format!("unknown operation `{other}`"),
+                    })
+                }
+            };
+            let offset: u64 = fields[2].parse().map_err(|_| ParseTraceError {
+                line: line_no,
+                reason: format!("invalid offset `{}`", fields[2]),
+            })?;
+            let bytes: u32 = fields[3].parse().map_err(|_| ParseTraceError {
+                line: line_no,
+                reason: format!("invalid size `{}`", fields[3]),
+            })?;
+            commands.push(HostCommand {
+                id: commands.len() as u64,
+                op,
+                offset,
+                bytes,
+                issue_at: SimTime::from_us(time_us),
+            });
+        }
+        Ok(TracePlayer { commands })
+    }
+
+    /// The parsed commands, in file order.
+    pub fn commands(&self) -> &[HostCommand] {
+        &self.commands
+    }
+
+    /// Number of commands in the trace.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// `true` if the trace holds no commands.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Total payload bytes moved by read and write commands.
+    pub fn total_bytes(&self) -> u64 {
+        self.commands
+            .iter()
+            .filter(|c| c.op != HostOp::Trim)
+            .map(|c| c.bytes as u64)
+            .sum()
+    }
+
+    /// Serialises the trace back to its textual format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# time_us op offset_bytes size_bytes\n");
+        for c in &self.commands {
+            let op = match c.op {
+                HostOp::Read => "read",
+                HostOp::Write => "write",
+                HostOp::Trim => "trim",
+            };
+            out.push_str(&format!("{} {} {} {}\n", c.issue_at.as_us(), op, c.offset, c.bytes));
+        }
+        out
+    }
+}
+
+impl FromIterator<HostCommand> for TracePlayer {
+    fn from_iter<I: IntoIterator<Item = HostCommand>>(iter: I) -> Self {
+        TracePlayer {
+            commands: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+0 write 0 4096
+
+120 read 8192 4096
+250 trim 0 65536
+";
+
+    #[test]
+    fn parses_valid_trace() {
+        let t = TracePlayer::parse(SAMPLE).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.commands()[0].op, HostOp::Write);
+        assert_eq!(t.commands()[1].issue_at, SimTime::from_us(120));
+        assert_eq!(t.commands()[2].op, HostOp::Trim);
+        assert_eq!(t.total_bytes(), 8192);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let t = TracePlayer::parse(SAMPLE).unwrap();
+        let again = TracePlayer::parse(&t.to_text()).unwrap();
+        assert_eq!(t, again);
+    }
+
+    #[test]
+    fn short_op_names_accepted() {
+        let t = TracePlayer::parse("0 w 0 512\n1 r 0 512\n2 t 0 512\n").unwrap();
+        assert_eq!(t.commands()[0].op, HostOp::Write);
+        assert_eq!(t.commands()[1].op, HostOp::Read);
+        assert_eq!(t.commands()[2].op, HostOp::Trim);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = TracePlayer::parse("0 write 0 4096\n5 flush 0 0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("flush"));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count_and_bad_numbers() {
+        assert!(TracePlayer::parse("0 write 0\n").is_err());
+        assert!(TracePlayer::parse("x write 0 4096\n").is_err());
+        assert!(TracePlayer::parse("0 write y 4096\n").is_err());
+        assert!(TracePlayer::parse("0 write 0 z\n").is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_ok() {
+        let t = TracePlayer::parse("# nothing\n").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(TracePlayer::new(), t);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let cmds = vec![HostCommand {
+            id: 0,
+            op: HostOp::Read,
+            offset: 0,
+            bytes: 4096,
+            issue_at: SimTime::ZERO,
+        }];
+        let t: TracePlayer = cmds.clone().into_iter().collect();
+        assert_eq!(t.commands(), &cmds[..]);
+    }
+}

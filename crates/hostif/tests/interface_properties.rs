@@ -1,0 +1,111 @@
+//! Property-based tests of the host-interface models, the workload
+//! generators and the trace player.
+
+use proptest::prelude::*;
+use ssdx_hostif::{
+    AccessPattern, HostInterface, HostOp, NvmeInterface, PcieGen, SataInterface, TracePlayer,
+    Workload,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn effective_bandwidth_never_exceeds_ideal(bytes in 512u32..1_000_000) {
+        let interfaces: Vec<Box<dyn HostInterface>> = vec![
+            Box::new(SataInterface::sata2()),
+            Box::new(SataInterface::sata3()),
+            Box::new(NvmeInterface::gen2_x8()),
+            Box::new(NvmeInterface::gen3_x4()),
+        ];
+        for iface in &interfaces {
+            let effective = iface.effective_bandwidth(bytes);
+            prop_assert!(effective <= iface.ideal_bandwidth() as f64 * 1.001,
+                "{}: {effective} exceeds ideal", iface.name());
+            prop_assert!(effective > 0.0);
+        }
+    }
+
+    #[test]
+    fn bigger_payloads_amortise_protocol_overhead(small in 512u32..4_096, factor in 2u32..32) {
+        let sata = SataInterface::sata2();
+        let large = small.saturating_mul(factor);
+        prop_assert!(sata.effective_bandwidth(large) >= sata.effective_bandwidth(small) * 0.999);
+    }
+
+    #[test]
+    fn pcie_bandwidth_scales_with_lane_count(lanes in 1u32..16) {
+        let one = NvmeInterface::new(PcieGen::Gen2, 1).ideal_bandwidth() as f64;
+        let many = NvmeInterface::new(PcieGen::Gen2, lanes).ideal_bandwidth() as f64;
+        prop_assert!((many / one - lanes as f64).abs() < 0.02 * lanes as f64);
+    }
+
+    #[test]
+    fn sequential_workloads_cover_contiguous_ranges(
+        count in 1u64..500,
+        block in prop::sample::select(vec![512u32, 4_096, 8_192, 65_536])
+    ) {
+        let workload = Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(count)
+            .block_size(block)
+            .footprint_bytes(1 << 32)
+            .build();
+        let commands = workload.commands();
+        prop_assert_eq!(commands.len() as u64, count);
+        for (i, c) in commands.iter().enumerate() {
+            prop_assert_eq!(c.offset, i as u64 * block as u64);
+            prop_assert_eq!(c.bytes, block);
+            prop_assert_eq!(c.op, HostOp::Write);
+        }
+    }
+
+    #[test]
+    fn random_workloads_are_reproducible_and_aligned(seed in any::<u64>(), count in 1u64..400) {
+        let build = || Workload::builder(AccessPattern::RandomRead)
+            .command_count(count)
+            .seed(seed)
+            .build()
+            .commands();
+        let first = build();
+        let second = build();
+        prop_assert_eq!(&first, &second);
+        for c in &first {
+            prop_assert_eq!(c.offset % 4096, 0);
+            prop_assert_eq!(c.op, HostOp::Read);
+        }
+    }
+
+    #[test]
+    fn trace_round_trip_is_lossless(commands in prop::collection::vec(
+        (0u64..1_000_000, 0u8..3, 0u64..(1 << 30), 1u32..1_000_000), 0..100
+    )) {
+        let mut text = String::from("# generated\n");
+        for (time, op, offset, bytes) in &commands {
+            let op = match op { 0 => "read", 1 => "write", _ => "trim" };
+            text.push_str(&format!("{time} {op} {offset} {bytes}\n"));
+        }
+        let parsed = TracePlayer::parse(&text).expect("generated trace parses");
+        prop_assert_eq!(parsed.len(), commands.len());
+        let reparsed = TracePlayer::parse(&parsed.to_text()).expect("serialised trace parses");
+        prop_assert_eq!(parsed, reparsed);
+    }
+}
+
+#[test]
+fn queue_depth_is_the_protocol_differentiator() {
+    // The observation the whole Fig. 3 / Fig. 4 comparison rests on.
+    let sata = SataInterface::sata2();
+    let nvme = NvmeInterface::gen2_x8();
+    assert_eq!(sata.queue_depth(), 32);
+    assert_eq!(nvme.queue_depth(), 65_536);
+    assert!(nvme.command_overhead() < sata.command_overhead());
+}
+
+#[test]
+fn all_four_patterns_generate_the_requested_volume() {
+    for pattern in AccessPattern::all() {
+        let workload = Workload::builder(pattern).command_count(100).build();
+        assert_eq!(workload.total_bytes(), 100 * 4096);
+        assert_eq!(workload.commands().len(), 100);
+    }
+}

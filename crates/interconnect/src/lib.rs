@@ -1,0 +1,29 @@
+//! AMBA AHB 2.0 system-interconnect model.
+//!
+//! SSDExplorer keeps the system interconnect at RTL-equivalent accuracy
+//! because arbitration, burst formation and wait states directly shape the
+//! internal transfer rates of the SSD. This crate models an AMBA AHB v2.0
+//! bus with 16 master and 16 slave ports, a round-robin arbiter, INCR burst
+//! transfers and split-transaction support (modelled as re-arbitration
+//! instead of bus stalling), plus the Multi-Layer AHB variant the paper
+//! mentions as a possible evolution.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_interconnect::{AhbBus, AhbConfig};
+//! use ssdx_sim::SimTime;
+//!
+//! let mut bus = AhbBus::new(AhbConfig::default());
+//! let xfer = bus.transfer(SimTime::ZERO, 0, 1, 4096);
+//! assert!(xfer.end > xfer.start);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ahb;
+pub mod multilayer;
+
+pub use ahb::{AhbBus, AhbConfig, AhbError, BurstKind, BusStats, Transfer};
+pub use multilayer::MultiLayerAhb;

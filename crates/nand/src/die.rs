@@ -1,0 +1,336 @@
+//! The NAND die model: array-side operation execution with latency
+//! variability and wear tracking.
+
+use crate::geometry::{GeometryError, NandConfig, PageAddr};
+use crate::timing::NandOp;
+use serde::{Deserialize, Serialize};
+use ssdx_sim::rng::SimRng;
+use ssdx_sim::{Resource, SimTime};
+use std::collections::HashMap;
+
+/// Result of issuing an operation to a die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpOutcome {
+    /// When the die actually started the array operation (it may have had to
+    /// wait for a previous operation to finish).
+    pub start: SimTime,
+    /// When the array operation completed and the die became ready again.
+    pub end: SimTime,
+    /// Pure array busy time (excludes any wait for the die to become ready).
+    pub busy_time: SimTime,
+    /// Expected raw bit errors in the page at its current wear level
+    /// (meaningful for reads; zero for erase).
+    pub expected_raw_errors: f64,
+}
+
+/// Statistics accumulated by one die.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DieStats {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Total array busy time.
+    pub busy: SimTime,
+}
+
+/// One NAND die: planes, blocks, pages, wear state and a busy/ready line.
+///
+/// The die is modelled at the granularity the paper needs: the array is a
+/// single-server resource (a die executes one operation at a time unless a
+/// multi-plane command is used), operation latencies follow the MLC
+/// variability profile, and every block tracks its P/E cycles so the RBER
+/// seen by the ECC grows over the device lifetime.
+#[derive(Debug, Clone)]
+pub struct NandDie {
+    id: u32,
+    config: NandConfig,
+    array: Resource,
+    wear: HashMap<u64, crate::wear::BlockWear>,
+    baseline_pe: u64,
+    stats: DieStats,
+    rng: SimRng,
+    rng_seed: u64,
+    jitter: f64,
+}
+
+impl NandDie {
+    /// Creates a fresh die with the given identifier and configuration.
+    ///
+    /// The `seed` makes the per-operation timing jitter reproducible.
+    pub fn new(id: u32, config: NandConfig, seed: u64) -> Self {
+        let rng_seed = seed ^ (id as u64).wrapping_mul(0x9E37_79B9);
+        NandDie {
+            id,
+            config,
+            array: Resource::new(format!("nand-die-{id}")),
+            wear: HashMap::new(),
+            baseline_pe: 0,
+            stats: DieStats::default(),
+            rng: SimRng::new(rng_seed),
+            rng_seed,
+            jitter: 0.05,
+        }
+    }
+
+    /// Die identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Configuration the die was built with.
+    pub fn config(&self) -> &NandConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DieStats {
+        self.stats
+    }
+
+    /// The instant at which the die is next ready to accept an operation.
+    pub fn ready_at(&self) -> SimTime {
+        self.array.free_at()
+    }
+
+    /// Artificially ages every block of the die to `pe_cycles` program/erase
+    /// cycles. The wear-out experiment uses this to sample the device at
+    /// different points of its rated life without simulating years of writes.
+    pub fn age_all_blocks(&mut self, pe_cycles: u64) {
+        self.baseline_pe = pe_cycles;
+        for wear in self.wear.values_mut() {
+            wear.set_pe_cycles(pe_cycles);
+        }
+    }
+
+    /// P/E cycle count of the block containing `addr`.
+    pub fn block_pe_cycles(&self, addr: PageAddr) -> u64 {
+        let key = addr.flat_block(&self.config.geometry);
+        self.wear
+            .get(&key)
+            .map(|w| w.pe_cycles())
+            .unwrap_or(self.baseline_pe)
+    }
+
+    /// Normalised wear (0–1+) of the block containing `addr`.
+    pub fn block_wear(&self, addr: PageAddr) -> f64 {
+        self.config.wear.normalized_wear(self.block_pe_cycles(addr))
+    }
+
+    /// Expected raw bit errors for one page read at the block's current wear,
+    /// over a codeword covering the full raw page (data + spare).
+    pub fn expected_raw_errors(&self, addr: PageAddr) -> f64 {
+        let bits = self.config.geometry.raw_page_bytes() as u64 * 8;
+        self.config
+            .wear
+            .expected_errors(self.block_pe_cycles(addr), bits)
+    }
+
+    /// Executes `op` on the page/block at `addr`, starting no earlier than
+    /// `at`. The die serialises operations on its array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the die geometry; use
+    /// [`try_execute`](Self::try_execute) for a fallible variant.
+    pub fn execute(&mut self, at: SimTime, op: NandOp, addr: PageAddr) -> OpOutcome {
+        self.try_execute(at, op, addr)
+            .expect("page address out of range for this die geometry")
+    }
+
+    /// Fallible variant of [`execute`](Self::execute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::AddressOutOfRange`] if `addr` does not fit
+    /// the die geometry.
+    pub fn try_execute(
+        &mut self,
+        at: SimTime,
+        op: NandOp,
+        addr: PageAddr,
+    ) -> Result<OpOutcome, GeometryError> {
+        addr.validate(&self.config.geometry)?;
+        let key = addr.flat_block(&self.config.geometry);
+        let baseline = self.baseline_pe;
+        let wear_entry = self
+            .wear
+            .entry(key)
+            .or_insert_with(|| {
+                let mut w = crate::wear::BlockWear::new();
+                w.set_pe_cycles(baseline);
+                w
+            });
+        let pe = wear_entry.pe_cycles();
+        let wear = self.config.wear.normalized_wear(pe);
+
+        let nominal = match op {
+            NandOp::Read => self.config.timing.t_read(),
+            NandOp::Program => {
+                let kind = self.config.timing.page_kind(addr.page);
+                self.config.timing.t_prog(kind, wear)
+            }
+            NandOp::Erase => self.config.timing.t_bers(wear),
+        };
+        // Small per-operation jitter models cell-to-cell variation.
+        let factor = 1.0 + self.rng.uniform_f64(-self.jitter, self.jitter);
+        let busy = nominal.scale(factor.max(0.01));
+
+        let grant = self.array.reserve(at, busy);
+
+        let expected_raw_errors = match op {
+            NandOp::Erase => 0.0,
+            _ => {
+                let bits = self.config.geometry.raw_page_bytes() as u64 * 8;
+                self.config.wear.expected_errors(pe, bits)
+            }
+        };
+
+        match op {
+            NandOp::Read => {
+                wear_entry.record_read();
+                self.stats.reads += 1;
+            }
+            NandOp::Program => {
+                wear_entry.record_program();
+                self.stats.programs += 1;
+            }
+            NandOp::Erase => {
+                wear_entry.record_erase();
+                self.stats.erases += 1;
+            }
+        }
+        self.stats.busy += busy;
+
+        Ok(OpOutcome {
+            start: grant.start,
+            end: grant.end,
+            busy_time: busy,
+            expected_raw_errors,
+        })
+    }
+
+    /// Die utilization over a simulated horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.array.utilization(horizon)
+    }
+
+    /// Resets die busy state, statistics and the timing-jitter stream,
+    /// keeping wear, so that repeated runs on the same die are reproducible.
+    pub fn reset_activity(&mut self) {
+        self.array.reset();
+        self.stats = DieStats::default();
+        self.rng = SimRng::new(self.rng_seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::MlcTimingProfile;
+
+    fn die() -> NandDie {
+        NandDie::new(0, NandConfig::default(), 42)
+    }
+
+    fn addr(block: u32, page: u32) -> PageAddr {
+        PageAddr { plane: 0, block, page }
+    }
+
+    #[test]
+    fn read_takes_about_t_read() {
+        let mut d = die();
+        let o = d.execute(SimTime::ZERO, NandOp::Read, addr(0, 0));
+        let t = MlcTimingProfile::default().t_read();
+        assert!(o.busy_time >= t.scale(0.95) && o.busy_time <= t.scale(1.05));
+    }
+
+    #[test]
+    fn program_respects_mlc_range() {
+        let mut d = die();
+        let lsb = d.execute(SimTime::ZERO, NandOp::Program, addr(0, 0));
+        let msb = d.execute(SimTime::ZERO, NandOp::Program, addr(0, 1));
+        assert!(lsb.busy_time >= SimTime::from_us(850));
+        assert!(msb.busy_time > lsb.busy_time);
+        assert!(msb.busy_time <= SimTime::from_ms(3));
+    }
+
+    #[test]
+    fn die_serialises_operations() {
+        let mut d = die();
+        let a = d.execute(SimTime::ZERO, NandOp::Read, addr(0, 0));
+        let b = d.execute(SimTime::ZERO, NandOp::Read, addr(0, 1));
+        assert_eq!(b.start, a.end);
+        assert!(d.ready_at() == b.end);
+    }
+
+    #[test]
+    fn erase_increments_pe_and_slows_down_with_age() {
+        let mut d = die();
+        let a = addr(5, 0);
+        let fresh = d.execute(SimTime::ZERO, NandOp::Erase, a);
+        assert_eq!(d.block_pe_cycles(a), 1);
+        d.age_all_blocks(3_000);
+        assert_eq!(d.block_pe_cycles(a), 3_000);
+        let worn = d.execute(d.ready_at(), NandOp::Erase, a);
+        assert!(worn.busy_time > fresh.busy_time * 2);
+    }
+
+    #[test]
+    fn aging_applies_to_untouched_blocks_too() {
+        let mut d = die();
+        d.age_all_blocks(1_500);
+        assert_eq!(d.block_pe_cycles(addr(100, 0)), 1_500);
+        assert!((d.block_wear(addr(100, 0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_errors_grow_with_wear() {
+        let mut d = die();
+        let fresh = d.expected_raw_errors(addr(0, 0));
+        d.age_all_blocks(3_000);
+        let worn = d.expected_raw_errors(addr(0, 0));
+        assert!(worn > fresh * 10.0);
+    }
+
+    #[test]
+    fn out_of_range_address_is_an_error() {
+        let mut d = die();
+        let bad = PageAddr { plane: 9, block: 0, page: 0 };
+        assert!(d.try_execute(SimTime::ZERO, NandOp::Read, bad).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = die();
+        d.execute(SimTime::ZERO, NandOp::Read, addr(0, 0));
+        d.execute(d.ready_at(), NandOp::Program, addr(0, 0));
+        d.execute(d.ready_at(), NandOp::Erase, addr(0, 0));
+        let s = d.stats();
+        assert_eq!((s.reads, s.programs, s.erases), (1, 1, 1));
+        assert!(s.busy > SimTime::from_us(900));
+    }
+
+    #[test]
+    fn reset_activity_keeps_wear() {
+        let mut d = die();
+        d.execute(SimTime::ZERO, NandOp::Erase, addr(0, 0));
+        d.reset_activity();
+        assert_eq!(d.stats().erases, 0);
+        assert_eq!(d.ready_at(), SimTime::ZERO);
+        assert_eq!(d.block_pe_cycles(addr(0, 0)), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_latencies() {
+        let mut a = NandDie::new(3, NandConfig::default(), 7);
+        let mut b = NandDie::new(3, NandConfig::default(), 7);
+        for i in 0..20 {
+            let oa = a.execute(a.ready_at(), NandOp::Program, addr(0, i));
+            let ob = b.execute(b.ready_at(), NandOp::Program, addr(0, i));
+            assert_eq!(oa, ob);
+        }
+    }
+}

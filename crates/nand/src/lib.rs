@@ -1,0 +1,41 @@
+//! Cycle-accurate NAND flash memory array model.
+//!
+//! This crate reproduces the NAND subsystem SSDExplorer borrows from
+//! NANDFlashSim: a hierarchical organisation into dies, planes, blocks and
+//! pages, an ONFI-style command/data interface whose transfer time depends on
+//! the configured interface speed, and — crucially for the paper's wear-out
+//! experiment — intrinsic latency variability: program time depends on the
+//! page position inside the block (fast/slow MLC pages), and both timing and
+//! raw bit error rate degrade as blocks accumulate program/erase cycles.
+//!
+//! The modelled device follows the Multi-Level Cell part used in the paper
+//! (Samsung K9-class MLC): `tPROG` 900 µs – 3 ms, `tREAD` 60 µs,
+//! `tBERS` 1 – 10 ms.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_nand::{NandConfig, NandDie, PageAddr, NandOp};
+//! use ssdx_sim::SimTime;
+//!
+//! let cfg = NandConfig::default();
+//! let mut die = NandDie::new(0, cfg, 1234);
+//! let addr = PageAddr { plane: 0, block: 0, page: 0 };
+//! let outcome = die.execute(SimTime::ZERO, NandOp::Program, addr);
+//! assert!(outcome.busy_time >= SimTime::from_us(850));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod die;
+pub mod geometry;
+pub mod onfi;
+pub mod timing;
+pub mod wear;
+
+pub use die::{DieStats, NandDie, OpOutcome};
+pub use geometry::{GeometryError, NandConfig, NandGeometry, PageAddr};
+pub use onfi::{OnfiBus, OnfiSpeed};
+pub use timing::{MlcTimingProfile, NandOp, PageKind};
+pub use wear::{BlockWear, WearModel};

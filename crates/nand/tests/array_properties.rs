@@ -1,0 +1,154 @@
+//! Property-based tests of the NAND array model: timing bounds, wear
+//! monotonicity, die serialisation and ONFI bus arithmetic.
+
+use proptest::prelude::*;
+use ssdx_nand::{
+    MlcTimingProfile, NandConfig, NandDie, NandGeometry, NandOp, OnfiBus, OnfiSpeed, PageAddr,
+    WearModel,
+};
+use ssdx_sim::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn operations_always_respect_datasheet_bounds(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u8..3, 0u32..2, 0u32..64, 0u32..128), 1..60)
+    ) {
+        let config = NandConfig::default();
+        let mut die = NandDie::new(0, config, seed);
+        let timing = MlcTimingProfile::paper_mlc();
+        for (op, plane, block, page) in ops {
+            let addr = PageAddr { plane, block, page };
+            let op = match op {
+                0 => NandOp::Read,
+                1 => NandOp::Program,
+                _ => NandOp::Erase,
+            };
+            let outcome = die.execute(die.ready_at(), op, addr);
+            // 5 % jitter plus wear slowdown bound every operation.
+            let (lo, hi) = match op {
+                NandOp::Read => (SimTime::from_us(timing.t_read_us), SimTime::from_us(timing.t_read_us)),
+                NandOp::Program => (
+                    SimTime::from_us(timing.t_prog_min_us),
+                    SimTime::from_us(timing.t_prog_max_us),
+                ),
+                NandOp::Erase => (
+                    SimTime::from_us(timing.t_bers_min_us),
+                    SimTime::from_us(timing.t_bers_max_us),
+                ),
+            };
+            prop_assert!(outcome.busy_time >= lo.scale(0.94));
+            prop_assert!(outcome.busy_time <= hi.scale(1.06 * (1.0 + timing.wear_slowdown)));
+        }
+    }
+
+    #[test]
+    fn die_never_overlaps_array_operations(
+        seed in any::<u64>(),
+        pages in prop::collection::vec(0u32..128, 2..40)
+    ) {
+        let mut die = NandDie::new(1, NandConfig::default(), seed);
+        let mut previous_end = SimTime::ZERO;
+        for page in pages {
+            let addr = PageAddr { plane: 0, block: 0, page };
+            // Everything requested at time zero must still serialise.
+            let outcome = die.execute(SimTime::ZERO, NandOp::Program, addr);
+            prop_assert!(outcome.start >= previous_end);
+            previous_end = outcome.end;
+        }
+    }
+
+    #[test]
+    fn aging_never_speeds_anything_up(pe_young in 0u64..1_500, pe_old in 1_500u64..6_000, seed in any::<u64>()) {
+        let config = NandConfig::default();
+        let addr = PageAddr { plane: 0, block: 0, page: 1 };
+        let mut young = NandDie::new(2, config, seed);
+        let mut old = NandDie::new(2, config, seed);
+        young.age_all_blocks(pe_young);
+        old.age_all_blocks(pe_old);
+        let t_young = young.execute(SimTime::ZERO, NandOp::Program, addr).busy_time;
+        let t_old = old.execute(SimTime::ZERO, NandOp::Program, addr).busy_time;
+        // Same seed -> same jitter draw -> the only difference is wear.
+        prop_assert!(t_old >= t_young);
+        prop_assert!(old.expected_raw_errors(addr) >= young.expected_raw_errors(addr));
+    }
+
+    #[test]
+    fn onfi_transfer_time_is_monotone_in_size_and_speed(bytes in 1u64..65_536) {
+        let slow = OnfiBus::new(OnfiSpeed::Sdr20);
+        let fast = OnfiBus::new(OnfiSpeed::Ddr400);
+        prop_assert!(slow.transfer_time(bytes) > fast.transfer_time(bytes));
+        prop_assert!(slow.transfer_time(bytes + 1) >= slow.transfer_time(bytes));
+    }
+
+    #[test]
+    fn rated_endurance_normalisation_is_linear(pe in 0u64..100_000) {
+        let wear = WearModel::paper_mlc();
+        let w = wear.normalized_wear(pe);
+        prop_assert!((w - pe as f64 / wear.rated_pe_cycles as f64).abs() < 1e-12);
+        prop_assert_eq!(wear.pe_at(w), pe);
+    }
+
+    #[test]
+    fn valid_addresses_roundtrip_through_flat_indices(
+        plane in 0u32..2,
+        block in 0u32..2_048,
+        page in 0u32..128
+    ) {
+        let geo = NandGeometry::mlc_2kb();
+        let addr = PageAddr { plane, block, page };
+        prop_assert!(addr.validate(&geo).is_ok());
+        let flat = addr.flat_page(&geo);
+        prop_assert!(flat < geo.pages_per_die());
+    }
+}
+
+#[test]
+fn a_full_block_lifecycle_wears_exactly_one_cycle() {
+    let config = NandConfig::default();
+    let mut die = NandDie::new(7, config, 99);
+    let block = 12;
+    // Program every page of the block, then erase it.
+    for page in 0..config.geometry.pages_per_block {
+        let addr = PageAddr { plane: 0, block, page };
+        die.execute(die.ready_at(), NandOp::Program, addr);
+    }
+    die.execute(die.ready_at(), NandOp::Erase, PageAddr { plane: 0, block, page: 0 });
+    assert_eq!(die.block_pe_cycles(PageAddr { plane: 0, block, page: 0 }), 1);
+    let stats = die.stats();
+    assert_eq!(stats.programs, config.geometry.pages_per_block as u64);
+    assert_eq!(stats.erases, 1);
+    // The busy time of a full block program dwarfs the erase.
+    assert!(stats.busy > SimTime::from_ms(100));
+}
+
+#[test]
+fn interleaving_two_dies_halves_the_makespan() {
+    let config = NandConfig::default();
+    let mut single = NandDie::new(0, config, 5);
+    let mut pair = (NandDie::new(0, config, 5), NandDie::new(1, config, 6));
+    let pages = 32u32;
+
+    let mut single_end = SimTime::ZERO;
+    for page in 0..pages {
+        let addr = PageAddr { plane: 0, block: 0, page };
+        single_end = single.execute(SimTime::ZERO, NandOp::Program, addr).end.max(single_end);
+    }
+
+    let mut pair_end = SimTime::ZERO;
+    for page in 0..pages {
+        let addr = PageAddr { plane: 0, block: 0, page };
+        // Distribute LSB/MSB page *pairs* across the two dies so each die
+        // sees the same mix of fast and slow pages.
+        let outcome = if (page / 2) % 2 == 0 {
+            pair.0.execute(SimTime::ZERO, NandOp::Program, addr)
+        } else {
+            pair.1.execute(SimTime::ZERO, NandOp::Program, addr)
+        };
+        pair_end = pair_end.max(outcome.end);
+    }
+    let ratio = pair_end.as_ns_f64() / single_end.as_ns_f64();
+    assert!((0.4..0.62).contains(&ratio), "two dies should roughly halve the makespan, ratio {ratio}");
+}

@@ -1,0 +1,40 @@
+//! Discrete-event simulation kernel for the SSDExplorer virtual platform.
+//!
+//! The original SSDExplorer is built on SystemC; this crate provides the
+//! equivalent substrate in pure Rust: a simulated time base with picosecond
+//! resolution ([`SimTime`]), an event calendar ([`Scheduler`]), resource
+//! reservation primitives used to model shared hardware blocks
+//! ([`Resource`], [`RoundRobinArbiter`]), collection of performance
+//! statistics ([`stats`]), and a small deterministic random number generator
+//! ([`rng::SimRng`]) so that simulations are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_sim::{SimTime, Resource};
+//!
+//! // A single-ported resource (e.g. a bus) that takes 100 ns per transfer.
+//! let mut bus = Resource::new("bus");
+//! let grant_a = bus.reserve(SimTime::ZERO, SimTime::from_ns(100));
+//! let grant_b = bus.reserve(SimTime::ZERO, SimTime::from_ns(100));
+//! assert_eq!(grant_a.start, SimTime::ZERO);
+//! // The second request had to wait for the first to finish.
+//! assert_eq!(grant_b.start, SimTime::from_ns(100));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arbiter;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod scheduler;
+pub mod stats;
+pub mod time;
+
+pub use arbiter::RoundRobinArbiter;
+pub use event::{Event, EventId};
+pub use resource::{Grant, MultiResource, Resource};
+pub use scheduler::Scheduler;
+pub use time::{Frequency, SimTime};

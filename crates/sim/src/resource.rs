@@ -1,0 +1,301 @@
+//! Resource-reservation primitives used to model shared hardware blocks.
+//!
+//! A [`Resource`] models a single-ported hardware unit (a bus, a DMA engine,
+//! a NAND die, …): requests are served first-come-first-served and a request
+//! arriving while the unit is busy waits until it frees up. A
+//! [`MultiResource`] models a pool of identical servers (e.g. the per-channel
+//! ECC decoder pipelines).
+//!
+//! Reservations return a [`Grant`] describing when service actually starts
+//! and ends, so callers can chain stages of a pipeline by feeding one grant's
+//! `end` into the next stage's earliest start.
+
+use crate::stats::Utilization;
+use crate::time::SimTime;
+
+/// The outcome of reserving a resource: when service started and ended, and
+/// how long the request waited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Instant at which service began (>= requested time).
+    pub start: SimTime,
+    /// Instant at which service completed.
+    pub end: SimTime,
+    /// Queueing delay suffered before service began.
+    pub wait: SimTime,
+}
+
+impl Grant {
+    /// Total time from the request instant to completion.
+    pub fn latency(&self) -> SimTime {
+        self.wait + (self.end - self.start)
+    }
+}
+
+/// A single-ported, first-come-first-served resource.
+///
+/// # Example
+///
+/// ```
+/// use ssdx_sim::{Resource, SimTime};
+/// let mut dma = Resource::new("pp-dma");
+/// let g1 = dma.reserve(SimTime::ZERO, SimTime::from_us(10));
+/// let g2 = dma.reserve(SimTime::from_us(3), SimTime::from_us(10));
+/// assert_eq!(g2.start, g1.end);
+/// assert_eq!(g2.wait, SimTime::from_us(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: String,
+    free_at: SimTime,
+    util: Utilization,
+    served: u64,
+}
+
+impl Resource {
+    /// Creates an idle resource with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Resource {
+            name: name.into(),
+            free_at: SimTime::ZERO,
+            util: Utilization::new(),
+            served: 0,
+        }
+    }
+
+    /// Diagnostic name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The earliest instant at which the resource is idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Number of requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Reserves the resource for `duration`, starting no earlier than `at`.
+    ///
+    /// Returns the grant describing the actual service window.
+    pub fn reserve(&mut self, at: SimTime, duration: SimTime) -> Grant {
+        let start = at.max(self.free_at);
+        let end = start + duration;
+        self.free_at = end;
+        self.util.add_busy(duration);
+        self.served += 1;
+        Grant {
+            start,
+            end,
+            wait: start - at,
+        }
+    }
+
+    /// Reserves the resource only if it is idle at `at`; otherwise returns
+    /// `None` and leaves the resource untouched.
+    pub fn try_reserve(&mut self, at: SimTime, duration: SimTime) -> Option<Grant> {
+        if self.free_at > at {
+            return None;
+        }
+        Some(self.reserve(at, duration))
+    }
+
+    /// Fraction of time the resource was busy up to `horizon`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.util.ratio(horizon)
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn busy_time(&self) -> SimTime {
+        self.util.busy()
+    }
+
+    /// Resets the resource to idle at time zero, clearing statistics.
+    pub fn reset(&mut self) {
+        self.free_at = SimTime::ZERO;
+        self.util = Utilization::new();
+        self.served = 0;
+    }
+}
+
+/// A pool of `n` identical single-ported servers; each request is assigned to
+/// the server that frees up earliest.
+///
+/// # Example
+///
+/// ```
+/// use ssdx_sim::{MultiResource, SimTime};
+/// let mut decoders = MultiResource::new("bch-decoders", 2);
+/// let a = decoders.reserve(SimTime::ZERO, SimTime::from_us(5));
+/// let b = decoders.reserve(SimTime::ZERO, SimTime::from_us(5));
+/// let c = decoders.reserve(SimTime::ZERO, SimTime::from_us(5));
+/// assert_eq!(a.start, SimTime::ZERO);
+/// assert_eq!(b.start, SimTime::ZERO);
+/// assert_eq!(c.start, SimTime::from_us(5)); // both servers busy
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiResource {
+    name: String,
+    servers: Vec<SimTime>,
+    util: Utilization,
+    served: u64,
+}
+
+impl MultiResource {
+    /// Creates a pool of `servers` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(name: impl Into<String>, servers: usize) -> Self {
+        assert!(servers > 0, "a resource pool needs at least one server");
+        MultiResource {
+            name: name.into(),
+            servers: vec![SimTime::ZERO; servers],
+            util: Utilization::new(),
+            served: 0,
+        }
+    }
+
+    /// Diagnostic name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of servers in the pool.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Earliest instant at which at least one server is idle.
+    pub fn earliest_free(&self) -> SimTime {
+        self.servers.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Reserves one server for `duration`, starting no earlier than `at`.
+    pub fn reserve(&mut self, at: SimTime, duration: SimTime) -> Grant {
+        let (idx, _) = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, free)| **free)
+            .expect("pool is non-empty");
+        let start = at.max(self.servers[idx]);
+        let end = start + duration;
+        self.servers[idx] = end;
+        self.util.add_busy(duration);
+        self.served += 1;
+        Grant {
+            start,
+            end,
+            wait: start - at,
+        }
+    }
+
+    /// Average per-server utilization up to `horizon`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        self.util.ratio(horizon) / self.servers.len() as f64
+    }
+
+    /// Resets every server to idle at time zero, clearing statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            *s = SimTime::ZERO;
+        }
+        self.util = Utilization::new();
+        self.served = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_resource_serializes_overlapping_requests() {
+        let mut r = Resource::new("bus");
+        let g1 = r.reserve(SimTime::from_ns(0), SimTime::from_ns(100));
+        let g2 = r.reserve(SimTime::from_ns(10), SimTime::from_ns(100));
+        let g3 = r.reserve(SimTime::from_ns(500), SimTime::from_ns(100));
+        assert_eq!(g1.end, SimTime::from_ns(100));
+        assert_eq!(g2.start, SimTime::from_ns(100));
+        assert_eq!(g2.wait, SimTime::from_ns(90));
+        // A request arriving after the backlog drains starts immediately.
+        assert_eq!(g3.start, SimTime::from_ns(500));
+        assert_eq!(g3.wait, SimTime::ZERO);
+        assert_eq!(r.served(), 3);
+    }
+
+    #[test]
+    fn grant_latency_includes_wait() {
+        let mut r = Resource::new("x");
+        r.reserve(SimTime::ZERO, SimTime::from_ns(50));
+        let g = r.reserve(SimTime::ZERO, SimTime::from_ns(30));
+        assert_eq!(g.latency(), SimTime::from_ns(80));
+    }
+
+    #[test]
+    fn try_reserve_fails_when_busy() {
+        let mut r = Resource::new("x");
+        r.reserve(SimTime::ZERO, SimTime::from_ns(100));
+        assert!(r.try_reserve(SimTime::from_ns(50), SimTime::from_ns(10)).is_none());
+        assert!(r.try_reserve(SimTime::from_ns(100), SimTime::from_ns(10)).is_some());
+    }
+
+    #[test]
+    fn utilization_is_busy_over_horizon() {
+        let mut r = Resource::new("x");
+        r.reserve(SimTime::ZERO, SimTime::from_ns(250));
+        let u = r.utilization(SimTime::from_ns(1000));
+        assert!((u - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new("x");
+        r.reserve(SimTime::ZERO, SimTime::from_ns(250));
+        r.reset();
+        assert_eq!(r.free_at(), SimTime::ZERO);
+        assert_eq!(r.served(), 0);
+        assert_eq!(r.busy_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn multi_resource_uses_all_servers() {
+        let mut m = MultiResource::new("pool", 4);
+        let dur = SimTime::from_us(10);
+        let grants: Vec<Grant> = (0..8).map(|_| m.reserve(SimTime::ZERO, dur)).collect();
+        let immediate = grants.iter().filter(|g| g.start == SimTime::ZERO).count();
+        assert_eq!(immediate, 4);
+        let queued = grants.iter().filter(|g| g.start == dur).count();
+        assert_eq!(queued, 4);
+        assert_eq!(m.server_count(), 4);
+        assert_eq!(m.served(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_pool_is_rejected() {
+        let _ = MultiResource::new("bad", 0);
+    }
+
+    #[test]
+    fn multi_resource_earliest_free_tracks_min() {
+        let mut m = MultiResource::new("pool", 2);
+        m.reserve(SimTime::ZERO, SimTime::from_ns(100));
+        assert_eq!(m.earliest_free(), SimTime::ZERO);
+        m.reserve(SimTime::ZERO, SimTime::from_ns(40));
+        assert_eq!(m.earliest_free(), SimTime::from_ns(40));
+    }
+}

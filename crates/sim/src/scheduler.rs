@@ -1,0 +1,249 @@
+//! The event calendar driving a simulation.
+
+use crate::event::{Event, EventId};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic event calendar (priority queue ordered by time).
+///
+/// Events scheduled for the same instant are delivered in scheduling order
+/// (FIFO), which keeps simulations reproducible regardless of payload type.
+///
+/// # Example
+///
+/// ```
+/// use ssdx_sim::{Scheduler, SimTime};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule(SimTime::from_ns(30), "late");
+/// sched.schedule(SimTime::from_ns(10), "early");
+/// let ev = sched.pop().expect("an event is pending");
+/// assert_eq!(ev.payload, "early");
+/// assert_eq!(sched.now(), SimTime::from_ns(10));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<T> {
+    queue: BinaryHeap<Reverse<Entry<T>>>,
+    now: SimTime,
+    next_id: u64,
+    processed: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> Scheduler<T> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_id: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of events already delivered.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulated time (causality
+    /// violation).
+    pub fn schedule(&mut self, at: SimTime, payload: T) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({} < {})",
+            at,
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.queue.push(Reverse(Entry {
+            at,
+            seq: self.next_id,
+            payload,
+        }));
+        self.next_id += 1;
+        id
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: T) -> EventId {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the next event, advancing simulated time to it.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let Reverse(entry) = self.queue.pop()?;
+        self.now = entry.at;
+        self.processed += 1;
+        Some(Event {
+            id: EventId(entry.seq),
+            at: entry.at,
+            payload: entry.payload,
+        })
+    }
+
+    /// Runs the simulation to completion, invoking `handler` for every event.
+    ///
+    /// The handler may schedule further events through the `&mut Scheduler`
+    /// it receives.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Scheduler<T>, Event<T>),
+    {
+        while let Some(ev) = self.pop() {
+            handler(self, ev);
+        }
+    }
+
+    /// Runs the simulation until simulated time exceeds `deadline` or the
+    /// calendar drains, whichever comes first. Events strictly after the
+    /// deadline remain queued.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Scheduler<T>, Event<T>),
+    {
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.pop().expect("peeked event must exist");
+            handler(self, ev);
+        }
+    }
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ns(50), 'c');
+        s.schedule(SimTime::from_ns(10), 'a');
+        s.schedule(SimTime::from_ns(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| s.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            s.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_popped_event() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ns(42), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_ns(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule an event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ns(10), ());
+        s.pop();
+        s.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn run_drains_and_allows_rescheduling() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ns(1), 3u32);
+        let mut fired = Vec::new();
+        s.run(|sched, ev| {
+            fired.push((ev.at, ev.payload));
+            if ev.payload > 0 {
+                sched.schedule_after(SimTime::from_ns(1), ev.payload - 1);
+            }
+        });
+        assert_eq!(fired.len(), 4);
+        assert_eq!(fired.last().unwrap().0, SimTime::from_ns(4));
+        assert!(s.is_empty());
+        assert_eq!(s.processed(), 4);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut s = Scheduler::new();
+        for i in 1..=10u64 {
+            s.schedule(SimTime::from_ns(i * 10), i);
+        }
+        let mut fired = 0;
+        s.run_until(SimTime::from_ns(50), |_, _| fired += 1);
+        assert_eq!(fired, 5);
+        assert_eq!(s.pending(), 5);
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_ns(100), ());
+        s.pop();
+        s.schedule_after(SimTime::from_ns(20), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_ns(120)));
+    }
+}

@@ -1,0 +1,304 @@
+//! Performance-statistics collection: counters, throughput meters, latency
+//! histograms and utilization trackers.
+//!
+//! These are the building blocks of the per-component performance breakdown
+//! the virtual platform reports (the paper's `DDR+FLASH`, `SATA+DDR`, `SSD`
+//! columns are all derived from throughput meters attached to different
+//! pipeline stages).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A simple monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Accumulates bytes moved and converts them into MB/s over a horizon.
+///
+/// Throughput is reported in decimal megabytes per second (10^6 bytes), the
+/// unit used throughout the paper's figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    ops: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Records `bytes` moved by one operation.
+    pub fn record(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.ops += 1;
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Mean throughput in MB/s over `elapsed` simulated time.
+    ///
+    /// Returns 0 when no time has elapsed.
+    pub fn mbps(&self, elapsed: SimTime) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / elapsed.as_secs_f64()
+    }
+
+    /// Mean I/O operations per second over `elapsed` simulated time.
+    pub fn iops(&self, elapsed: SimTime) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ops as f64 / elapsed.as_secs_f64()
+    }
+}
+
+/// Online latency statistics with logarithmic histogram buckets.
+///
+/// Buckets are powers of two of nanoseconds, which is plenty of resolution to
+/// distinguish microsecond-scale interface latencies from millisecond-scale
+/// NAND program times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+const BUCKETS: usize = 48;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            (64 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        let ns = latency.as_ns();
+        self.buckets[Self::bucket_for(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or zero if no samples were recorded.
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_ns((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// Smallest recorded latency, or zero if no samples were recorded.
+    pub fn min(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ns(self.min_ns)
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_ns(self.max_ns)
+    }
+
+    /// Approximate latency at percentile `p` (0–100), resolved to the upper
+    /// bound of the histogram bucket containing that rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> SimTime {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper_ns = if i == 0 { 1 } else { 1u64 << i };
+                return SimTime::from_ns(upper_ns.min(self.max_ns.max(1)));
+            }
+        }
+        self.max()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tracks how much of the simulated horizon a component spent busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Utilization {
+    busy: SimTime,
+}
+
+impl Utilization {
+    /// Creates a tracker with no busy time.
+    pub fn new() -> Self {
+        Utilization::default()
+    }
+
+    /// Adds a busy interval.
+    pub fn add_busy(&mut self, duration: SimTime) {
+        self.busy += duration;
+    }
+
+    /// Accumulated busy time.
+    pub fn busy(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Busy fraction of `horizon` (clamped to 1.0 for multi-server owners).
+    pub fn ratio(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        self.busy.as_ps() as f64 / horizon.as_ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn throughput_in_mbps() {
+        let mut t = ThroughputMeter::new();
+        // 100 MB over 0.5 s -> 200 MB/s.
+        for _ in 0..100 {
+            t.record(1_000_000);
+        }
+        assert!((t.mbps(SimTime::from_ms(500)) - 200.0).abs() < 1e-9);
+        assert!((t.iops(SimTime::from_ms(500)) - 200.0).abs() < 1e-9);
+        assert_eq!(t.bytes(), 100_000_000);
+        assert_eq!(t.ops(), 100);
+    }
+
+    #[test]
+    fn throughput_zero_elapsed_is_zero() {
+        let mut t = ThroughputMeter::new();
+        t.record(4096);
+        assert_eq!(t.mbps(SimTime::ZERO), 0.0);
+        assert_eq!(t.iops(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_us(10));
+        h.record(SimTime::from_us(20));
+        h.record(SimTime::from_us(30));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean().as_us(), 20);
+        assert_eq!(h.min().as_us(), 10);
+        assert_eq!(h.max().as_us(), 30);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimTime::from_ns(i * 100));
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.min(), SimTime::ZERO);
+        assert_eq!(h.percentile(99.0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn histogram_rejects_bad_percentile() {
+        let h = LatencyHistogram::new();
+        let _ = h.percentile(150.0);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let mut u = Utilization::new();
+        u.add_busy(SimTime::from_ms(1));
+        assert!((u.ratio(SimTime::from_ms(4)) - 0.25).abs() < 1e-12);
+        assert_eq!(u.ratio(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the simulation kernel: time arithmetic, calendar
+//! ordering, resource bookkeeping and arbiter fairness.
+
+use proptest::prelude::*;
+use ssdx_sim::stats::{LatencyHistogram, ThroughputMeter};
+use ssdx_sim::{Frequency, MultiResource, Resource, RoundRobinArbiter, Scheduler, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cycles_to_time_round_trips_for_platform_clocks(
+        mhz in prop::sample::select(vec![100u64, 125, 133, 166, 200, 250, 266, 400, 500, 800, 1000]),
+        cycles in 0u64..10_000_000
+    ) {
+        // The kernel guarantees exact conversions for the clocks the platform
+        // actually uses (whose periods are whole picoseconds or recur within
+        // the u128 intermediate precision of the conversion).
+        let clock = Frequency::from_mhz(mhz);
+        let time = clock.cycles_to_time(cycles);
+        let back = clock.time_to_cycles(time);
+        prop_assert!(back == cycles || back + 1 == cycles,
+            "round trip drifted: {back} vs {cycles} at {mhz} MHz");
+    }
+
+    #[test]
+    fn transfer_time_never_understates_bandwidth(bytes in 1u64..1_000_000_000, bw in 1u64..10_000_000_000u64) {
+        let t = ssdx_sim::time::transfer_time(bytes, bw);
+        // Moving `bytes` in time `t` must not imply a rate above `bw`.
+        let implied = bytes as f64 / t.as_secs_f64();
+        prop_assert!(implied <= bw as f64 * 1.000_001);
+    }
+
+    #[test]
+    fn simtime_ordering_is_total_and_consistent(a in any::<u64>(), b in any::<u64>()) {
+        let ta = SimTime::from_ps(a);
+        let tb = SimTime::from_ps(b);
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta.max(tb).as_ps(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_ps(), a.min(b));
+    }
+
+    #[test]
+    fn scheduler_processes_every_event_exactly_once(times in prop::collection::vec(0u64..100_000, 0..300)) {
+        let mut scheduler: Scheduler<usize> = Scheduler::new();
+        for (i, t) in times.iter().enumerate() {
+            scheduler.schedule(SimTime::from_ns(*t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        while let Some(event) = scheduler.pop() {
+            prop_assert!(!seen[event.payload], "event delivered twice");
+            seen[event.payload] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        prop_assert!(scheduler.is_empty());
+    }
+
+    #[test]
+    fn resource_total_busy_equals_sum_of_durations(durations in prop::collection::vec(1u64..10_000, 1..100)) {
+        let mut resource = Resource::new("busy");
+        let mut expected = SimTime::ZERO;
+        for d in &durations {
+            resource.reserve(SimTime::ZERO, SimTime::from_ns(*d));
+            expected += SimTime::from_ns(*d);
+        }
+        prop_assert_eq!(resource.busy_time(), expected);
+        prop_assert_eq!(resource.free_at(), expected);
+        prop_assert_eq!(resource.served(), durations.len() as u64);
+    }
+
+    #[test]
+    fn multi_resource_is_never_slower_than_single(reqs in prop::collection::vec((0u64..1_000, 1u64..500), 1..60)) {
+        let mut single = Resource::new("single");
+        let mut quad = MultiResource::new("quad", 4);
+        let mut single_end = SimTime::ZERO;
+        let mut quad_end = SimTime::ZERO;
+        for (at, dur) in reqs {
+            let at = SimTime::from_ns(at);
+            let dur = SimTime::from_ns(dur);
+            single_end = single_end.max(single.reserve(at, dur).end);
+            quad_end = quad_end.max(quad.reserve(at, dur).end);
+        }
+        prop_assert!(quad_end <= single_end);
+    }
+
+    #[test]
+    fn arbiter_is_fair_under_saturation(ports in 2usize..12, rounds in 10usize..200) {
+        let mut arbiter = RoundRobinArbiter::new(ports);
+        let mut counts = vec![0u32; ports];
+        for _ in 0..rounds * ports {
+            let winner = arbiter.grant(&vec![true; ports]).expect("requests pending");
+            counts[winner] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        prop_assert!(max - min <= 1, "round-robin must be fair under saturation: {counts:?}");
+    }
+
+    #[test]
+    fn throughput_meter_is_linear_in_bytes(chunks in prop::collection::vec(1u64..1_000_000, 1..50)) {
+        let mut meter = ThroughputMeter::new();
+        for c in &chunks {
+            meter.record(*c);
+        }
+        let total: u64 = chunks.iter().sum();
+        prop_assert_eq!(meter.bytes(), total);
+        let mbps = meter.mbps(SimTime::from_secs(1));
+        prop_assert!((mbps - total as f64 / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_ordered(samples in prop::collection::vec(1u64..10_000_000, 1..300)) {
+        let mut histogram = LatencyHistogram::new();
+        for s in &samples {
+            histogram.record(SimTime::from_ns(*s));
+        }
+        let p50 = histogram.percentile(50.0);
+        let p90 = histogram.percentile(90.0);
+        let p99 = histogram.percentile(99.0);
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p99);
+        prop_assert!(histogram.min() <= histogram.mean());
+        prop_assert!(histogram.mean() <= histogram.max());
+    }
+}
+
+#[test]
+fn scheduler_interleaves_newly_scheduled_events_correctly() {
+    // A process-like pattern: every event reschedules itself twice with
+    // different delays; the calendar must still deliver in global time order.
+    let mut scheduler = Scheduler::new();
+    scheduler.schedule(SimTime::from_ns(10), 3u32);
+    let mut deliveries = Vec::new();
+    scheduler.run(|sched, event| {
+        deliveries.push(event.at);
+        if event.payload > 0 {
+            sched.schedule_after(SimTime::from_ns(7), event.payload - 1);
+            sched.schedule_after(SimTime::from_ns(3), event.payload - 1);
+        }
+    });
+    let mut sorted = deliveries.clone();
+    sorted.sort();
+    assert_eq!(deliveries, sorted, "events must be delivered in time order");
+    assert_eq!(deliveries.len(), 1 + 2 + 4 + 8);
+}

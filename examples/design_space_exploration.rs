@@ -1,0 +1,52 @@
+//! Design-space exploration: find the minimum-resource SSD architecture that
+//! saturates a SATA II host interface, then show how an NVMe interface
+//! changes the picture (the paper's Figs. 3 and 4 in miniature).
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use ssdexplorer::core::configs::table2_configs;
+use ssdexplorer::core::{explorer, HostInterfaceConfig, SsdConfig};
+use ssdexplorer::hostif::{AccessPattern, Workload};
+
+fn steady_state(mut cfg: SsdConfig) -> SsdConfig {
+    // Keep the write cache small relative to the workload so throughput
+    // reflects the steady state rather than the cache-fill transient.
+    cfg.dram_buffer_capacity = 128 * 1024;
+    cfg
+}
+
+fn main() {
+    let workload = Workload::builder(AccessPattern::SequentialWrite)
+        .command_count(8_192)
+        .build();
+    let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
+
+    for host in [HostInterfaceConfig::Sata2, HostInterfaceConfig::nvme_gen2_x8()] {
+        println!("================================================================");
+        println!("host interface: {}", host.name());
+        println!("================================================================");
+        let sweep = explorer::sweep_host_interface(host, &configs, &workload);
+        print!("{}", sweep.to_table());
+
+        match sweep.optimal_design_point(0.95) {
+            Some(best) if !sweep.saturating_points(0.95).is_empty() => println!(
+                "\n-> {} is the cheapest architecture that saturates the interface\n",
+                best.config_name
+            ),
+            Some(best) => println!(
+                "\n-> no architecture saturates the interface; cheapest overall is {}\n",
+                best.config_name
+            ),
+            None => println!("\n-> no design points were evaluated\n"),
+        }
+
+        println!("performance/cost Pareto front:");
+        for p in sweep.pareto_front() {
+            println!(
+                "   {:<4} {:>7.1} MB/s  ({} channels, {} buffers, {} dies)",
+                p.config_name, p.ssd_cache_mbps, p.channels, p.dram_buffers, p.total_dies
+            );
+        }
+        println!();
+    }
+}

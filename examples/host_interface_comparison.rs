@@ -1,0 +1,53 @@
+//! Host-interface comparison: the same highly parallel SSD back end behind a
+//! SATA II link (NCQ, 32 outstanding commands) and behind a PCIe Gen2 x8 +
+//! NVMe link (64 K outstanding commands), with and without the DRAM write
+//! cache. This reproduces, on one configuration, the key observation behind
+//! the paper's Figs. 3 and 4: the SATA command window hides the internal
+//! parallelism of no-cache drives, NVMe unveils it.
+//!
+//! Run with `cargo run --release --example host_interface_comparison`.
+
+use ssdexplorer::core::{CachePolicy, HostInterfaceConfig, Ssd, SsdConfig};
+use ssdexplorer::hostif::{AccessPattern, Workload};
+
+fn build(host: HostInterfaceConfig, policy: CachePolicy) -> SsdConfig {
+    SsdConfig::builder(format!("{}-{}", host.name(), policy.label()))
+        .topology(16, 8, 4)
+        .dram_buffers(16)
+        .dram_buffer_capacity(128 * 1024)
+        .host_interface(host)
+        .cache_policy(policy)
+        .build()
+        .expect("configuration is structurally valid")
+}
+
+fn main() {
+    let workload = Workload::builder(AccessPattern::SequentialWrite)
+        .command_count(8_192)
+        .build();
+
+    println!("back end: 16 channels x 8 ways x 4 dies (512 MLC dies)\n");
+    println!(
+        "{:<22} {:<10} {:>12} {:>14}",
+        "host interface", "cache", "queue depth", "throughput"
+    );
+    for host in [HostInterfaceConfig::Sata2, HostInterfaceConfig::nvme_gen2_x8()] {
+        for policy in [CachePolicy::WriteCache, CachePolicy::NoCache] {
+            let config = build(host, policy);
+            let queue_depth = config.queue_depth();
+            let report = Ssd::new(config).run(&workload);
+            println!(
+                "{:<22} {:<10} {:>12} {:>9.1} MB/s",
+                host.name(),
+                policy.label(),
+                queue_depth,
+                report.throughput_mbps
+            );
+        }
+    }
+
+    println!();
+    println!("With SATA the no-cache drive is pinned near the 32-command NCQ window,");
+    println!("regardless of how many dies sit behind the controller; the NVMe queue");
+    println!("depth removes that ceiling and the no-cache drive tracks the cached one.");
+}

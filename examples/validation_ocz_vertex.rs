@@ -1,0 +1,54 @@
+//! Validation scenario: run the four IOZone-style synthetic workloads
+//! (sequential/random read/write, 4 KB payloads) against the OCZ-Vertex-like
+//! configuration and compare with the device reference values (the paper's
+//! Fig. 2).
+//!
+//! Run with `cargo run --release --example validation_ocz_vertex`.
+
+use ssdexplorer::core::configs::ocz_vertex_like;
+use ssdexplorer::core::Ssd;
+use ssdexplorer::hostif::{AccessPattern, Workload};
+
+/// Reference throughput of the physical drive. The paper plots these values
+/// in Fig. 2 without tabulating them, so the numbers below are
+/// approximations consistent with the figure and with public reviews of the
+/// device; see EXPERIMENTS.md for the discussion.
+const REFERENCE_MBPS: [(AccessPattern, f64); 4] = [
+    (AccessPattern::SequentialWrite, 160.0),
+    (AccessPattern::SequentialRead, 200.0),
+    (AccessPattern::RandomWrite, 22.0),
+    (AccessPattern::RandomRead, 145.0),
+];
+
+fn main() {
+    let config = ocz_vertex_like();
+    println!("simulated drive: {} ({})", config.name, config.architecture_label());
+    println!();
+    let mut ssd = Ssd::new(config);
+
+    println!(
+        "{:<20} {:>14} {:>14} {:>8}",
+        "workload", "SSDExplorer", "device ref", "error"
+    );
+    let mut worst_error: f64 = 0.0;
+    for (pattern, reference) in REFERENCE_MBPS {
+        // A shorter run than the full experiment harness, enough to get out
+        // of the cache-fill transient for writes.
+        let workload = Workload::builder(pattern)
+            .command_count(65_536)
+            .footprint_bytes(8 << 30)
+            .build();
+        let report = ssd.run(&workload);
+        let error = (report.throughput_mbps - reference).abs() / reference * 100.0;
+        worst_error = worst_error.max(error);
+        println!(
+            "{:<20} {:>9.1} MB/s {:>9.1} MB/s {:>7.1}%",
+            pattern.label(),
+            report.throughput_mbps,
+            reference,
+            error
+        );
+    }
+    println!();
+    println!("worst-case deviation from the device reference: {worst_error:.1}%");
+}

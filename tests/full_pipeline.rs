@@ -1,0 +1,195 @@
+//! End-to-end integration tests exercising the public API of the facade
+//! crate: configuration, the assembled SSD pipeline, trace replay and the
+//! component-level performance breakdown.
+
+use ssdexplorer::core::{CachePolicy, HostInterfaceConfig, Ssd, SsdConfig};
+use ssdexplorer::hostif::{AccessPattern, TracePlayer, Workload};
+use ssdexplorer::sim::SimTime;
+
+fn small_config(name: &str) -> SsdConfig {
+    SsdConfig::builder(name)
+        .topology(4, 2, 2)
+        .dram_buffers(4)
+        .dram_buffer_capacity(128 * 1024)
+        .build()
+        .expect("valid test configuration")
+}
+
+fn workload(pattern: AccessPattern, count: u64) -> Workload {
+    Workload::builder(pattern)
+        .command_count(count)
+        .footprint_bytes(1 << 30)
+        .build()
+}
+
+#[test]
+fn sequential_write_report_is_internally_consistent() {
+    let mut ssd = Ssd::new(small_config("consistency"));
+    let w = workload(AccessPattern::SequentialWrite, 512);
+    let report = ssd.run(&w);
+
+    assert_eq!(report.commands, 512);
+    assert_eq!(report.bytes, 512 * 4096);
+    assert!(report.elapsed > SimTime::ZERO);
+    // Throughput must equal bytes / elapsed (MB/s).
+    let recomputed = report.bytes as f64 / 1e6 / report.elapsed.as_secs_f64();
+    assert!((recomputed - report.throughput_mbps).abs() < 1e-6);
+    // Latency statistics cover every command.
+    assert_eq!(report.latency.count(), 512);
+    assert!(report.mean_latency() <= report.p99_latency());
+    // Utilizations are fractions.
+    let u = report.utilization;
+    for value in [u.host_link, u.dram, u.cpu, u.ahb, u.channel_bus, u.die] {
+        assert!((0.0..=1.0 + 1e-9).contains(&value), "utilization {value} out of range");
+    }
+}
+
+#[test]
+fn write_cache_improves_latency_but_not_steady_state_throughput() {
+    let w = workload(AccessPattern::SequentialWrite, 1024);
+    let mut cached_cfg = small_config("cached");
+    cached_cfg.cache_policy = CachePolicy::WriteCache;
+    let mut no_cache_cfg = small_config("no-cache");
+    no_cache_cfg.cache_policy = CachePolicy::NoCache;
+
+    let cached = Ssd::new(cached_cfg).run(&w);
+    let no_cache = Ssd::new(no_cache_cfg).run(&w);
+
+    // Completing at DRAM is always faster than completing at the NAND.
+    assert!(cached.mean_latency() < no_cache.mean_latency());
+    // But the flash back end bounds both in steady state on this small,
+    // flash-limited configuration.
+    assert!(cached.throughput_mbps >= no_cache.throughput_mbps * 0.95);
+}
+
+#[test]
+fn queue_depth_limits_no_cache_throughput() {
+    let w = workload(AccessPattern::SequentialWrite, 768);
+    // A back end parallel enough that the NCQ window, not the flash, is the
+    // bottleneck without a cache.
+    let build = |qd: u32| {
+        SsdConfig::builder(format!("qd-{qd}"))
+            .topology(8, 8, 2)
+            .dram_buffers(8)
+            .dram_buffer_capacity(128 * 1024)
+            .cache_policy(CachePolicy::NoCache)
+            .queue_depth(qd)
+            .build()
+            .expect("valid test configuration")
+    };
+    let shallow = Ssd::new(build(1)).run(&w);
+    let deep = Ssd::new(build(32)).run(&w);
+    assert!(
+        deep.throughput_mbps > 4.0 * shallow.throughput_mbps,
+        "deep {} vs shallow {}",
+        deep.throughput_mbps,
+        shallow.throughput_mbps
+    );
+}
+
+#[test]
+fn nvme_and_sata_share_the_same_back_end_behaviour_when_cached() {
+    let w = workload(AccessPattern::SequentialWrite, 512);
+    let mut sata = small_config("sata");
+    sata.host_interface = HostInterfaceConfig::Sata2;
+    let mut nvme = small_config("nvme");
+    nvme.host_interface = HostInterfaceConfig::nvme_gen2_x8();
+
+    let r_sata = Ssd::new(sata).run(&w);
+    let r_nvme = Ssd::new(nvme).run(&w);
+    // This configuration is flash-limited: the host interface choice should
+    // barely matter once the write cache absorbs the protocol differences.
+    let ratio = r_nvme.throughput_mbps / r_sata.throughput_mbps;
+    assert!((0.8..1.6).contains(&ratio), "ratio = {ratio}");
+}
+
+#[test]
+fn random_write_amplification_shows_up_in_nand_traffic() {
+    let seq = Ssd::new(small_config("seq")).run(&workload(AccessPattern::SequentialWrite, 512));
+    let rnd = Ssd::new(small_config("rnd")).run(&workload(AccessPattern::RandomWrite, 512));
+    assert!(rnd.waf > 2.0, "random WAF should be well above 1, got {}", rnd.waf);
+    assert!((seq.waf - 1.0).abs() < 1e-9);
+    // Amplification is physical: more NAND programs for the same host bytes.
+    assert!(rnd.nand_page_programs as f64 > 1.8 * seq.nand_page_programs as f64);
+}
+
+#[test]
+fn read_only_workloads_never_program_the_array() {
+    for pattern in [AccessPattern::SequentialRead, AccessPattern::RandomRead] {
+        let report = Ssd::new(small_config("reads")).run(&workload(pattern, 256));
+        assert_eq!(report.nand_page_programs, 0, "{pattern:?} must not program pages");
+        assert!(report.nand_page_reads > 0);
+    }
+}
+
+#[test]
+fn trace_replay_matches_equivalent_synthetic_workload() {
+    // Build a purely sequential write trace equivalent to the synthetic
+    // generator's output and check both paths agree.
+    let mut text = String::new();
+    for i in 0..256u64 {
+        text.push_str(&format!("0 write {} 4096\n", i * 4096));
+    }
+    let trace = TracePlayer::parse(&text).expect("trace parses");
+
+    let synthetic = Ssd::new(small_config("synthetic"))
+        .run(&Workload::builder(AccessPattern::SequentialWrite).command_count(256).build());
+    let replayed = Ssd::new(small_config("replayed")).run_trace(&trace);
+
+    assert_eq!(synthetic.commands, replayed.commands);
+    assert_eq!(synthetic.bytes, replayed.bytes);
+    let ratio = replayed.throughput_mbps / synthetic.throughput_mbps;
+    assert!((0.95..1.05).contains(&ratio), "ratio = {ratio}");
+}
+
+#[test]
+fn config_text_round_trip_drives_the_same_platform() {
+    let original = SsdConfig::builder("round-trip")
+        .topology(4, 4, 2)
+        .dram_buffers(4)
+        .dram_buffer_capacity(128 * 1024)
+        .cache_policy(CachePolicy::NoCache)
+        .build()
+        .expect("valid test configuration");
+    let parsed = SsdConfig::from_text(&original.to_text()).expect("round trip parses");
+
+    let w = workload(AccessPattern::SequentialWrite, 256);
+    let a = Ssd::new(original).run(&w);
+    let b = Ssd::new(parsed).run(&w);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.nand_page_programs, b.nand_page_programs);
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let w = workload(AccessPattern::RandomWrite, 384);
+    let first = Ssd::new(small_config("det")).run(&w);
+    let second = Ssd::new(small_config("det")).run(&w);
+    assert_eq!(first.elapsed, second.elapsed);
+    assert_eq!(first.nand_page_programs, second.nand_page_programs);
+    assert_eq!(first.latency.count(), second.latency.count());
+}
+
+#[test]
+fn reusing_one_platform_for_many_runs_resets_cleanly() {
+    let mut ssd = Ssd::new(small_config("reuse"));
+    let w = workload(AccessPattern::SequentialWrite, 256);
+    let first = ssd.run(&w);
+    let second = ssd.run(&w);
+    assert_eq!(first.elapsed, second.elapsed);
+    assert!((first.throughput_mbps - second.throughput_mbps).abs() < 1e-9);
+}
+
+#[test]
+fn component_breakdown_brackets_the_full_pipeline() {
+    let mut ssd = Ssd::new(small_config("brackets"));
+    let w = workload(AccessPattern::SequentialWrite, 768);
+    let ideal = ssd.interface_ideal_mbps();
+    let host_dram = ssd.host_dram_only_mbps(&w);
+    let flash = ssd.flash_path_mbps(&w);
+    let full = ssd.run(&w).throughput_mbps;
+    assert!(host_dram <= ideal * 1.01);
+    assert!(full <= host_dram * 1.05);
+    assert!(full <= flash * 1.2);
+    assert!(full > 0.0);
+}
