@@ -5,21 +5,16 @@ use ssdx_nand::OnfiBus;
 
 /// How the ways attached to one channel share the channel resources
 /// (Agrawal et al., USENIX ATC 2008).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum GangMode {
     /// All ways share both the control and the data lines of the channel:
     /// cheapest wiring, but data transfers of different ways serialise.
+    #[default]
     SharedBus,
     /// Ways share only the control lines; each way has its own data path, so
     /// data transfers to different ways can overlap (only the short command
     /// phase serialises).
     SharedControl,
-}
-
-impl Default for GangMode {
-    fn default() -> Self {
-        GangMode::SharedBus
-    }
 }
 
 /// Static configuration of one channel controller.

@@ -41,9 +41,10 @@ impl CachePolicy {
 }
 
 /// Host interface selection, serialisable form of the hostif crate models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum HostInterfaceConfig {
     /// SATA II, 3 Gb/s, NCQ depth 32.
+    #[default]
     Sata2,
     /// SATA III, 6 Gb/s, NCQ depth 32.
     Sata3,
@@ -88,21 +89,16 @@ impl HostInterfaceConfig {
     }
 }
 
-impl Default for HostInterfaceConfig {
-    fn default() -> Self {
-        HostInterfaceConfig::Sata2
-    }
-}
-
 /// How the flash translation layer is accounted for during simulation.
 ///
 /// The paper supports both: the WAF abstraction for fast fine-grained design
 /// space exploration (the validated instance), and an actual FTL executed by
 /// the platform for later refinement steps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FtlMode {
     /// The greedy-policy Write Amplification Factor abstraction: host writes
     /// are inflated analytically, no mapping tables are maintained.
+    #[default]
     WafAbstraction,
     /// A real page-mapped FTL (mapping table, greedy garbage collection,
     /// dynamic wear leveling) runs inside the simulation; garbage-collection
@@ -111,16 +107,11 @@ pub enum FtlMode {
     PageMapped,
 }
 
-impl Default for FtlMode {
-    fn default() -> Self {
-        FtlMode::WafAbstraction
-    }
-}
-
 /// Compressor placement selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CompressorConfig {
     /// No compressor instantiated.
+    #[default]
     None,
     /// GZIP engine between host interface and DRAM buffers.
     HostSide,
@@ -140,12 +131,6 @@ impl CompressorConfig {
                 Some(CompressorModel::hardware_gzip(CompressorPlacement::ChannelSide))
             }
         }
-    }
-}
-
-impl Default for CompressorConfig {
-    fn default() -> Self {
-        CompressorConfig::None
     }
 }
 
@@ -451,7 +436,7 @@ impl SsdConfig {
                 }
                 "over_provisioning" => {
                     let op: f64 = value.parse().map_err(|_| bad())?;
-                    if !(op > 0.0) {
+                    if op.is_nan() || op <= 0.0 {
                         return Err(bad());
                     }
                     builder.over_provisioning = op;

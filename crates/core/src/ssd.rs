@@ -322,7 +322,7 @@ impl Ssd {
 
                     // --- Translate into physical NAND programs ------------
                     let mut last_nand = comp_done;
-                    if ftl.is_some() {
+                    if let Some(f) = ftl.as_mut() {
                         // Actual FTL: map every logical page, and charge the
                         // relocations and erases its garbage collector
                         // performs as real NAND operations.
@@ -330,7 +330,6 @@ impl Ssd {
                         for i in 0..logical_pages {
                             let lpn = cmd.offset / page_bytes as u64 + i as u64;
                             let (location, relocations, erases) = {
-                                let f = ftl.as_mut().expect("page-mapped mode has an FTL");
                                 let before = f.stats();
                                 let location = f.write(lpn).ok();
                                 let after = f.stats();

@@ -410,8 +410,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid AHB configuration")]
     fn invalid_config_panics_on_construction() {
-        let mut c = AhbConfig::default();
-        c.masters = 0;
+        let c = AhbConfig { masters: 0, ..AhbConfig::default() };
         let _ = AhbBus::new(c);
     }
 }

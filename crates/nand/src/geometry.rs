@@ -147,7 +147,7 @@ impl fmt::Display for PageAddr {
 
 /// Complete configuration of a NAND die: geometry plus timing and wear
 /// parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct NandConfig {
     /// Physical organisation.
     pub geometry: NandGeometry,
@@ -155,16 +155,6 @@ pub struct NandConfig {
     pub timing: crate::timing::MlcTimingProfile,
     /// Wear-out model parameters.
     pub wear: crate::wear::WearModel,
-}
-
-impl Default for NandConfig {
-    fn default() -> Self {
-        NandConfig {
-            geometry: NandGeometry::default(),
-            timing: crate::timing::MlcTimingProfile::default(),
-            wear: crate::wear::WearModel::default(),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -183,8 +173,7 @@ mod tests {
 
     #[test]
     fn zero_dimension_rejected() {
-        let mut g = NandGeometry::default();
-        g.pages_per_block = 0;
+        let g = NandGeometry { pages_per_block: 0, ..NandGeometry::default() };
         assert_eq!(g.validate(), Err(GeometryError::ZeroDimension));
     }
 

@@ -13,7 +13,7 @@ use ssdx_sim::SimTime;
 
 /// Supported ONFI interface speeds (mega-transfers per second on the 8-bit
 /// data bus).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OnfiSpeed {
     /// Asynchronous SDR interface with a 50 ns cycle, ~20 MB/s (the legacy
     /// mode of the 2 KB-page MLC parts the paper's experiments model).
@@ -23,6 +23,7 @@ pub enum OnfiSpeed {
     /// ONFI 2.x source-synchronous DDR, 133 MT/s.
     Ddr133,
     /// ONFI 2.x source-synchronous DDR, 166 MT/s.
+    #[default]
     Ddr166,
     /// ONFI 3.x, 200 MT/s.
     Ddr200,
@@ -41,12 +42,6 @@ impl OnfiSpeed {
             OnfiSpeed::Ddr200 => 200_000_000,
             OnfiSpeed::Ddr400 => 400_000_000,
         }
-    }
-}
-
-impl Default for OnfiSpeed {
-    fn default() -> Self {
-        OnfiSpeed::Ddr166
     }
 }
 

@@ -225,14 +225,11 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_profiles() {
-        let mut p = MlcTimingProfile::default();
-        p.t_prog_max_us = 10;
+        let p = MlcTimingProfile { t_prog_max_us: 10, ..MlcTimingProfile::default() };
         assert_eq!(p.validate(), Err(TimingError::InvertedRange));
-        let mut p = MlcTimingProfile::default();
-        p.t_read_us = 0;
+        let p = MlcTimingProfile { t_read_us: 0, ..MlcTimingProfile::default() };
         assert_eq!(p.validate(), Err(TimingError::ZeroTime));
-        let mut p = MlcTimingProfile::default();
-        p.wear_slowdown = -1.0;
+        let p = MlcTimingProfile { wear_slowdown: -1.0, ..MlcTimingProfile::default() };
         assert_eq!(p.validate(), Err(TimingError::BadSlowdown));
     }
 

@@ -1,0 +1,83 @@
+//! Facade smoke test: every re-exported module must resolve, and a small
+//! simulation must be bit-identical across two independent runs (the
+//! deterministic `SimRng` contract the paper's experiments rely on).
+
+use ssdexplorer::core::{Ssd, SsdConfig};
+use ssdexplorer::hostif::{AccessPattern, Workload};
+
+/// Touch one load-bearing item behind each of the eleven re-exports so a
+/// dropped or renamed facade path fails this test rather than a downstream
+/// consumer.
+#[test]
+fn every_reexport_resolves() {
+    // sim: the picosecond time base and deterministic RNG.
+    let t = ssdexplorer::sim::SimTime::from_ns(5);
+    assert_eq!(t.as_ps(), 5_000);
+    let mut rng = ssdexplorer::sim::rng::SimRng::new(7);
+    let draw = rng.uniform_u64(0, 100);
+    assert!(draw <= 100);
+
+    // nand: geometry of the default MLC die.
+    let geometry = ssdexplorer::nand::NandGeometry::default();
+    assert!(geometry.validate().is_ok());
+
+    // dram: DDR2 timing profile.
+    let timings = ssdexplorer::dram::DdrTimings::default();
+    assert!(timings.peak_bandwidth() > 0);
+
+    // interconnect: AHB bus configuration.
+    let ahb = ssdexplorer::interconnect::AhbConfig::default();
+    assert!(ahb.masters > 0);
+
+    // cpu: firmware cost profile.
+    let firmware = ssdexplorer::cpu::FirmwareProfile::default();
+    assert!(firmware.command_decode_cycles > 0);
+
+    // channel: gang-mode configuration.
+    let channel = ssdexplorer::channel::ChannelConfig::default();
+    assert!(channel.ways > 0);
+
+    // ecc: a BCH codec latency model.
+    let codec = ssdexplorer::ecc::BchCodec::with_t(40);
+    assert!(codec.decode_latency(0.0) > codec.encode_latency());
+
+    // compress: the parametric compressor model.
+    let compressor = ssdexplorer::compress::CompressorModel::hardware_gzip(
+        ssdexplorer::compress::CompressorPlacement::HostSide,
+    );
+    assert!(compressor.output_bytes(4096) <= 4096);
+
+    // hostif: SATA-2 protocol limits.
+    let sata = ssdexplorer::hostif::SataInterface::sata2();
+    assert!(ssdexplorer::hostif::HostInterface::queue_depth(&sata) <= 32);
+
+    // ftl: the analytic WAF model.
+    let waf = ssdexplorer::ftl::WafModel::new(0.25);
+    assert!(waf.waf(ssdexplorer::ftl::WorkloadMix::random()) >= 1.0);
+
+    // core: configuration builder round-trip.
+    let config = SsdConfig::builder("smoke").topology(2, 2, 1).build().unwrap();
+    assert_eq!(config.total_dies(), 4);
+}
+
+/// Two identical `Ssd::run` invocations must produce identical reports —
+/// byte-for-byte, including latency percentiles and utilization figures.
+#[test]
+fn run_round_trip_is_deterministic() {
+    let run_once = || {
+        let config = SsdConfig::builder("determinism")
+            .topology(4, 4, 2)
+            .dram_buffers(4)
+            .build()
+            .unwrap();
+        let mut ssd = Ssd::new(config);
+        let workload = Workload::builder(AccessPattern::RandomWrite)
+            .command_count(256)
+            .build();
+        ssd.run(&workload)
+    };
+    let first = run_once();
+    let second = run_once();
+    assert!(first.throughput_mbps > 0.0);
+    assert_eq!(format!("{first:?}"), format!("{second:?}"));
+}

@@ -1,0 +1,30 @@
+//! Vendored stand-in for `serde`, used because this build environment has no
+//! access to a crates.io registry.
+//!
+//! The workspace annotates its model types with `#[derive(Serialize,
+//! Deserialize)]` so that reports and configurations stay serialization-ready,
+//! but nothing actually drives a `Serializer` at runtime. This crate therefore
+//! provides the trait names and the derive macros as markers with zero
+//! behaviour; swapping in the real `serde` is a manifest-only change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+/// Serialization side of the data model, kept as a namespace so imports of
+/// `serde::ser::...` keep resolving.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization side of the data model, kept as a namespace so imports of
+/// `serde::de::...` keep resolving.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,59 @@
+//! Vendored stand-in for `serde_derive`, used because this build environment
+//! has no access to a crates.io registry.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` trait impls; the
+//! workspace only uses the derives as annotations (nothing serializes through
+//! a `Serializer` at runtime), so these expand to marker impls of the traits
+//! defined in the vendored `serde` crate. The impls are generated textually
+//! from the item's name so `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// Extract the identifier that immediately follows the `struct`/`enum`
+/// keyword, skipping attributes and doc comments.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        let s = tt.to_string();
+        if saw_kw {
+            return Some(s);
+        }
+        if s == "struct" || s == "enum" || s == "union" {
+            saw_kw = true;
+        }
+    }
+    None
+}
+
+/// Emit `impl Trait for Type {}` only for non-generic items; generic items
+/// get no impl (the workspace never requires bounds on generic types).
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let Some(name) = type_name(&input) else {
+        return TokenStream::new();
+    };
+    // A generic parameter list would need to be replicated on the impl;
+    // every derived type in this workspace is concrete, so skip generics.
+    let text = input.to_string();
+    let is_generic = text
+        .find(&name)
+        .map(|at| text[at + name.len()..].trim_start().starts_with('<'))
+        .unwrap_or(false);
+    if is_generic {
+        return TokenStream::new();
+    }
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// No-op `#[derive(Serialize)]`: emits a marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// No-op `#[derive(Deserialize)]`: emits a marker `serde::DeserializeOwned` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::DeserializeOwned", input)
+}
