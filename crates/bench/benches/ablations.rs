@@ -23,7 +23,7 @@ fn base_config(name: &str) -> SsdConfigBuilder {
 }
 
 fn print_throughput(label: &str, cfg: SsdConfig, pattern: AccessPattern) {
-    let report = Ssd::new(cfg).run(&bench_workload(pattern, 4_096));
+    let report = Ssd::new(cfg).simulate(&bench_workload(pattern, 4_096));
     println!("  {:<28} {:>8.1} MB/s", label, report.throughput_mbps);
 }
 
@@ -109,7 +109,7 @@ fn bench(c: &mut Criterion) {
         let cfg = base_config("gang").gang(gang).build().unwrap();
         group.bench_with_input(BenchmarkId::new("gang", label), &cfg, |b, cfg| {
             let mut ssd = Ssd::new(cfg.clone());
-            b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+            b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
         });
     }
     for (label, ecc) in [
@@ -121,7 +121,7 @@ fn bench(c: &mut Criterion) {
         let read_workload = bench_workload(AccessPattern::SequentialRead, 1_024);
         group.bench_with_input(BenchmarkId::new("ecc", label), &cfg, |b, cfg| {
             let mut ssd = Ssd::new(cfg.clone());
-            b.iter(|| black_box(ssd.run(&read_workload).throughput_mbps));
+            b.iter(|| black_box(ssd.simulate(&read_workload).throughput_mbps));
         });
     }
     group.finish();

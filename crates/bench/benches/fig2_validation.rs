@@ -15,7 +15,7 @@ fn print_series() {
     println!("\n=== Fig. 2: OCZ-Vertex-like throughput (bench-sized workload) ===");
     let mut ssd = Ssd::new(ocz_vertex_like());
     for pattern in AccessPattern::all() {
-        let report = ssd.run(&bench_workload(pattern, 16_384));
+        let report = ssd.simulate(&bench_workload(pattern, 16_384));
         println!("{:<4} {:>8.1} MB/s", pattern.label(), report.throughput_mbps);
     }
     println!();
@@ -28,12 +28,12 @@ fn bench(c: &mut Criterion) {
     group.bench_function("ocz_vertex_like/sequential_write_2048", |b| {
         let workload = bench_workload(AccessPattern::SequentialWrite, 2_048);
         let mut ssd = Ssd::new(ocz_vertex_like());
-        b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+        b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
     });
     group.bench_function("ocz_vertex_like/random_read_2048", |b| {
         let workload = bench_workload(AccessPattern::RandomRead, 2_048);
         let mut ssd = Ssd::new(ocz_vertex_like());
-        b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+        b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
     });
     group.finish();
 }

@@ -13,11 +13,12 @@ use std::hint::black_box;
 fn print_series() {
     println!("\n=== Fig. 3: Sequential Write, SATA II host interface ===");
     let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
-    let sweep = explorer::sweep_host_interface(
+    let sweep = explorer::host_interface_study(
         HostInterfaceConfig::Sata2,
         &configs,
         &sequential_write_workload(BENCH_COMMANDS),
-    );
+    )
+    .expect("table configurations validate");
     print!("{}", sweep.to_table());
     if let Some(best) = sweep.optimal_design_point(0.95) {
         println!("optimal design point: {}\n", best.config_name);
@@ -36,7 +37,7 @@ fn bench(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::new("sata2_cache", &cfg.name), &cfg, |b, cfg| {
             let mut ssd = Ssd::new(cfg.clone());
-            b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+            b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
         });
     }
     group.finish();

@@ -14,11 +14,12 @@ use std::hint::black_box;
 fn print_series() {
     println!("\n=== Fig. 4: Sequential Write, PCIe Gen2 x8 + NVMe host interface ===");
     let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
-    let sweep = explorer::sweep_host_interface(
+    let sweep = explorer::host_interface_study(
         HostInterfaceConfig::nvme_gen2_x8(),
         &configs,
         &sequential_write_workload(BENCH_COMMANDS),
-    );
+    )
+    .expect("table configurations validate");
     print!("{}", sweep.to_table());
     println!("Pareto front (throughput vs channels+buffers):");
     for p in sweep.pareto_front() {
@@ -44,7 +45,7 @@ fn bench(c: &mut Criterion) {
         cfg.cache_policy = CachePolicy::NoCache;
         group.bench_with_input(BenchmarkId::new("nvme_no_cache", &cfg.name), &cfg, |b, cfg| {
             let mut ssd = Ssd::new(cfg.clone());
-            b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+            b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
         });
     }
     group.finish();

@@ -16,8 +16,10 @@ fn print_series() {
     println!("\n=== Fig. 5: throughput vs normalized rated endurance ===");
     let endurance: Vec<f64> = (0..=5).map(|i| i as f64 * 0.2).collect();
     let base = fig5_config(EccScheme::fixed_bch(40));
-    let fixed = explorer::wearout_sweep(&base, EccScheme::fixed_bch(40), &endurance, 2_048);
-    let adaptive = explorer::wearout_sweep(&base, EccScheme::adaptive_bch(40), &endurance, 2_048);
+    let fixed = explorer::wearout_study(&base, EccScheme::fixed_bch(40), &endurance, 2_048)
+        .expect("fig5 configuration validates");
+    let adaptive = explorer::wearout_study(&base, EccScheme::adaptive_bch(40), &endurance, 2_048)
+        .expect("fig5 configuration validates");
     println!(
         "{:>10} {:>12} {:>12} {:>13} {:>13}",
         "endurance", "fixed read", "adapt read", "fixed write", "adapt write"
@@ -45,7 +47,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(label, age_label), &cfg, |b, cfg| {
                 let mut ssd = Ssd::new(cfg.clone());
                 ssd.age_to_normalized(endurance);
-                b.iter(|| black_box(ssd.run(&workload).throughput_mbps));
+                b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
             });
         }
     }

@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::new("simulate", &cfg.name), &cfg, |b, cfg| {
             let mut ssd = Ssd::new(cfg.clone());
-            b.iter(|| black_box(ssd.run(&workload).elapsed));
+            b.iter(|| black_box(ssd.simulate(&workload).elapsed));
         });
     }
     group.finish();

@@ -62,7 +62,7 @@ fn fig2_validation() {
             .command_count(fig2_commands())
             .footprint_bytes(8 << 30)
             .build();
-        let report = ssd.run(&workload);
+        let report = ssd.simulate(&workload);
         let error = (report.throughput_mbps - reference).abs() / reference * 100.0;
         println!(
             "{:<18} {:>9.1} MB/s {:>9.1} MB/s {:>7.1}%",
@@ -100,7 +100,9 @@ fn fig3_sata_sweep() {
     println!("Fig. 3 — Sequential Write, SATA II host interface");
     println!("==============================================================");
     let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
-    let sweep = explorer::sweep_host_interface(HostInterfaceConfig::Sata2, &configs, &sweep_workload());
+    let sweep =
+        explorer::host_interface_study(HostInterfaceConfig::Sata2, &configs, &sweep_workload())
+            .expect("table configurations validate");
     print!("{}", sweep.to_table());
     if let Some(best) = sweep.optimal_design_point(0.95) {
         println!(
@@ -124,11 +126,12 @@ fn fig4_pcie_sweep() {
     println!("Fig. 4 — Sequential Write, PCIe Gen2 x8 + NVMe host interface");
     println!("==============================================================");
     let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
-    let sweep = explorer::sweep_host_interface(
+    let sweep = explorer::host_interface_study(
         HostInterfaceConfig::nvme_gen2_x8(),
         &configs,
         &sweep_workload(),
-    );
+    )
+    .expect("table configurations validate");
     print!("{}", sweep.to_table());
     let saturating = sweep.saturating_points(0.95);
     println!(
@@ -164,8 +167,10 @@ fn fig5_wearout() {
     println!("==============================================================");
     let endurance: Vec<f64> = (0..=5).map(|i| i as f64 * 0.2).collect();
     let base = fig5_config(EccScheme::fixed_bch(40));
-    let fixed = explorer::wearout_sweep(&base, EccScheme::fixed_bch(40), &endurance, 8_192);
-    let adaptive = explorer::wearout_sweep(&base, EccScheme::adaptive_bch(40), &endurance, 8_192);
+    let fixed = explorer::wearout_study(&base, EccScheme::fixed_bch(40), &endurance, 8_192)
+        .expect("fig5 configuration validates");
+    let adaptive = explorer::wearout_study(&base, EccScheme::adaptive_bch(40), &endurance, 8_192)
+        .expect("fig5 configuration validates");
     println!(
         "{:>10} {:>16} {:>16} {:>17} {:>17}",
         "endurance", "fixed BCH read", "adapt BCH read", "fixed BCH write", "adapt BCH write"
@@ -208,7 +213,7 @@ fn cache_policy_note() {
     for policy in [CachePolicy::WriteCache, CachePolicy::NoCache] {
         let mut cfg = steady_state(table2_configs().remove(5));
         cfg.cache_policy = policy;
-        let report = Ssd::new(cfg).run(&workload);
+        let report = Ssd::new(cfg).simulate(&workload);
         println!("{}", report.summary_line());
     }
     println!();

@@ -1,22 +1,494 @@
-//! Design-space exploration drivers.
+//! Generic design-space exploration: parameter sweeps over arbitrary
+//! configuration mutators.
 //!
-//! These helpers regenerate the series of the paper's optimal-design-point
-//! experiments: for every candidate configuration they produce the
-//! `DDR+FLASH`, `SSD cache` and `SSD no cache` columns, alongside the
-//! interface-level `ideal` and `+DDR` reference lines, and identify the
-//! cheapest configuration that saturates the host interface (the "optimal
-//! design point" the paper's Section IV-A is after).
+//! [`Explorer`] is the sweep engine: start from a base [`SsdConfig`], add
+//! one [`Axis`] per swept dimension (each axis is a list of labelled
+//! configuration mutations, built from value lists, whole configurations or
+//! hand-written closures), and [`run`](Explorer::run) any
+//! [`CommandSource`] across the cartesian product. Every evaluated point
+//! yields a [`SweepPoint`] carrying the full [`PerfReport`], so analyses
+//! are not limited to the throughput columns the original drivers exposed.
+//! The expansion into [`SweepJob`]s is explicit and side-effect free, which
+//! is what a future parallel executor will fan out over.
+//!
+//! The paper's two original studies are re-expressed on top of the engine:
+//! [`host_interface_study`] regenerates the optimal-design-point sweeps of
+//! Figs. 3 and 4 (per-configuration `DDR+FLASH`, `SSD cache` and `SSD no
+//! cache` columns plus the interface-level reference lines), and
+//! [`wearout_study`] the ECC/wear-out curves of Fig. 5.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_core::{Axis, Explorer, SsdConfig};
+//! use ssdx_hostif::{AccessPattern, Workload};
+//!
+//! let base = SsdConfig::builder("base").dram_buffer_capacity(128 * 1024).build()?;
+//! let workload = Workload::builder(AccessPattern::SequentialWrite)
+//!     .command_count(128)
+//!     .build();
+//! let sweep = Explorer::new(base)
+//!     .over(Axis::over("channels", [2u32, 4], |cfg, &c| {
+//!         cfg.channels = c;
+//!         cfg.dram_buffers = c;
+//!     }))
+//!     .run(&workload)
+//!     .expect("all swept points are valid");
+//! assert_eq!(sweep.len(), 2);
+//! let best = sweep.best_by(|r| r.throughput_mbps).unwrap();
+//! assert_eq!(best.value("channels"), Some("4"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
-use crate::config::{CachePolicy, HostInterfaceConfig, SsdConfig};
+use crate::config::{CachePolicy, ConfigError, HostInterfaceConfig, SsdConfig};
+use crate::report::PerfReport;
 use crate::ssd::Ssd;
 use serde::{Deserialize, Serialize};
 use ssdx_ecc::EccScheme;
-use ssdx_hostif::{AccessPattern, Workload};
+use ssdx_hostif::{AccessPattern, CommandSource, Workload};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced while expanding or executing a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// An axis holds no points, so the cartesian product is empty.
+    EmptyAxis(String),
+    /// A swept point produced a configuration that does not validate.
+    InvalidPoint {
+        /// `axis=value` coordinates of the offending point.
+        point: String,
+        /// The underlying configuration error.
+        error: ConfigError,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptyAxis(axis) => write!(f, "sweep axis `{axis}` has no points"),
+            SweepError::InvalidPoint { point, error } => {
+                write!(f, "sweep point ({point}) is invalid: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::InvalidPoint { error, .. } => Some(error),
+            SweepError::EmptyAxis(_) => None,
+        }
+    }
+}
+
+/// Shared platform-preparation hook applied after construction (e.g.
+/// artificial aging), before the source runs. `Send + Sync` so a batch of
+/// [`SweepJob`]s can be fanned out across threads by a parallel executor.
+type PrepareHook = Arc<dyn Fn(&mut Ssd) + Send + Sync>;
+
+/// One labelled point of an [`Axis`]: a configuration mutation plus an
+/// optional platform-preparation hook applied after construction.
+#[derive(Clone)]
+struct AxisPoint {
+    label: String,
+    mutate: Arc<dyn Fn(&mut SsdConfig) + Send + Sync>,
+    prepare: Option<PrepareHook>,
+}
+
+/// One swept dimension: a name and an ordered list of labelled
+/// configuration mutations.
+#[derive(Clone)]
+pub struct Axis {
+    name: String,
+    points: Vec<AxisPoint>,
+}
+
+impl Axis {
+    /// Creates an empty axis with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Axis { name: name.into(), points: Vec::new() }
+    }
+
+    /// The axis name, as reported in [`SweepPoint::coordinates`].
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of points on the axis.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the axis holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds one labelled point mutating the configuration.
+    pub fn point(
+        mut self,
+        label: impl Into<String>,
+        mutate: impl Fn(&mut SsdConfig) + Send + Sync + 'static,
+    ) -> Self {
+        self.points.push(AxisPoint {
+            label: label.into(),
+            mutate: Arc::new(mutate),
+            prepare: None,
+        });
+        self
+    }
+
+    /// Adds one labelled point that both mutates the configuration and
+    /// prepares the constructed platform (e.g. artificial NAND aging)
+    /// before the source runs.
+    pub fn point_with_setup(
+        mut self,
+        label: impl Into<String>,
+        mutate: impl Fn(&mut SsdConfig) + Send + Sync + 'static,
+        prepare: impl Fn(&mut Ssd) + Send + Sync + 'static,
+    ) -> Self {
+        self.points.push(AxisPoint {
+            label: label.into(),
+            mutate: Arc::new(mutate),
+            prepare: Some(Arc::new(prepare)),
+        });
+        self
+    }
+
+    /// Builds an axis from a list of values and one shared mutator: each
+    /// point is labelled with the value's `Display` form and applies
+    /// `apply(config, &value)`.
+    pub fn over<T, F>(name: impl Into<String>, values: impl IntoIterator<Item = T>, apply: F) -> Self
+    where
+        T: fmt::Display + Send + Sync + 'static,
+        F: Fn(&mut SsdConfig, &T) + Send + Sync + 'static,
+    {
+        let apply = Arc::new(apply);
+        let mut axis = Axis::new(name);
+        for value in values {
+            let label = value.to_string();
+            let apply = Arc::clone(&apply);
+            axis = axis.point(label, move |cfg| apply(cfg, &value));
+        }
+        axis
+    }
+
+    /// Builds an axis whose points are whole configurations (labelled by
+    /// their names), each replacing the base configuration entirely — how
+    /// the Table II sweeps enumerate candidate architectures.
+    pub fn configs(name: impl Into<String>, configs: impl IntoIterator<Item = SsdConfig>) -> Self {
+        let mut axis = Axis::new(name);
+        for config in configs {
+            let label = config.name.clone();
+            axis = axis.point(label, move |cfg| *cfg = config.clone());
+        }
+        axis
+    }
+}
+
+impl fmt::Debug for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Axis")
+            .field("name", &self.name)
+            .field("points", &self.points.iter().map(|p| &p.label).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// One `(axis, value)` coordinate of a swept point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxisValue {
+    /// Axis name.
+    pub axis: String,
+    /// Point label on that axis.
+    pub value: String,
+}
+
+/// One materialised run of a sweep: the concrete configuration, the
+/// coordinates that produced it and the preparation hooks to apply. The
+/// expansion is deterministic and side-effect free, so a batch of jobs can
+/// be executed in any order (the hook a future PR needs to parallelize
+/// sweeps).
+#[derive(Clone)]
+pub struct SweepJob {
+    /// `(axis, value)` coordinates of this job, in axis order.
+    pub coordinates: Vec<AxisValue>,
+    /// The fully mutated configuration the platform is built from.
+    pub config: SsdConfig,
+    prepare: Vec<PrepareHook>,
+}
+
+impl SweepJob {
+    /// `axis=value` summary of the job, used in error messages.
+    pub fn point_label(&self) -> String {
+        if self.coordinates.is_empty() {
+            self.config.name.clone()
+        } else {
+            self.coordinates
+                .iter()
+                .map(|c| format!("{}={}", c.axis, c.value))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    }
+
+    /// Builds the platform, applies the preparation hooks and runs the
+    /// source to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::InvalidPoint`] if the configuration does not
+    /// validate.
+    pub fn execute<S: CommandSource + ?Sized>(&self, source: &S) -> Result<SweepPoint, SweepError> {
+        let mut ssd = Ssd::try_new(self.config.clone()).map_err(|error| {
+            SweepError::InvalidPoint { point: self.point_label(), error }
+        })?;
+        for hook in &self.prepare {
+            hook(&mut ssd);
+        }
+        Ok(SweepPoint {
+            coordinates: self.coordinates.clone(),
+            report: ssd.simulate(source),
+        })
+    }
+}
+
+impl fmt::Debug for SweepJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepJob")
+            .field("point", &self.point_label())
+            .field("config", &self.config.name)
+            .field("prepare_hooks", &self.prepare.len())
+            .finish()
+    }
+}
+
+/// One evaluated point of a sweep: its coordinates and the full
+/// performance report of the run.
+///
+/// Note for 0.1 users: this is a new type. The three-column point of the
+/// legacy host-interface sweep now lives on as [`HostSweepPoint`].
+#[must_use = "a sweep point carries the measured report"]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// `(axis, value)` coordinates, in axis order.
+    pub coordinates: Vec<AxisValue>,
+    /// The complete performance report of this run.
+    pub report: PerfReport,
+}
+
+impl SweepPoint {
+    /// The point's value on the named axis, if that axis was swept.
+    pub fn value(&self, axis: &str) -> Option<&str> {
+        self.coordinates
+            .iter()
+            .find(|c| c.axis == axis)
+            .map(|c| c.value.as_str())
+    }
+
+    /// Compact point label: the axis values joined with ` · `.
+    pub fn label(&self) -> String {
+        if self.coordinates.is_empty() {
+            self.report.config_name.clone()
+        } else {
+            self.coordinates
+                .iter()
+                .map(|c| c.value.as_str())
+                .collect::<Vec<_>>()
+                .join(" · ")
+        }
+    }
+}
+
+/// The full result of one [`Explorer::run`]: every evaluated point with its
+/// report, in cartesian-product order (last axis fastest).
+#[must_use = "a sweep carries the measured reports"]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sweep {
+    /// The swept axis names, in application order.
+    pub axes: Vec<String>,
+    /// One point per evaluated combination.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Number of evaluated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the sweep holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Every point whose coordinate on `axis` equals `value`.
+    pub fn select(&self, axis: &str, value: &str) -> Vec<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.value(axis) == Some(value))
+            .collect()
+    }
+
+    /// The point maximising the given report metric (NaN-safe), if any.
+    pub fn best_by<F: Fn(&PerfReport) -> f64>(&self, metric: F) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| metric(&a.report).total_cmp(&metric(&b.report)))
+    }
+
+    /// Formats the sweep as an aligned text table (one row per point).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>12} {:>12} {:>12}\n",
+            "point", "MB/s", "IOPS", "mean lat"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<40} {:>12.1} {:>12.0} {:>12}\n",
+                p.label(),
+                p.report.throughput_mbps,
+                p.report.iops,
+                p.report.mean_latency()
+            ));
+        }
+        out
+    }
+}
+
+/// A parameter-sweep engine over arbitrary [`SsdConfig`] mutators.
+///
+/// Axes are applied in registration order to a clone of the base
+/// configuration; the run evaluates the cartesian product of all axis
+/// points against one [`CommandSource`]. Construction of each platform is
+/// fallible ([`Ssd::try_new`]), so a bad mutation surfaces as a
+/// [`SweepError`] instead of a panic.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    base: SsdConfig,
+    axes: Vec<Axis>,
+}
+
+impl Explorer {
+    /// Starts a sweep from the given base configuration. With no axes, the
+    /// sweep evaluates exactly the base.
+    pub fn new(base: SsdConfig) -> Self {
+        Explorer { base, axes: Vec::new() }
+    }
+
+    /// Adds a swept dimension.
+    pub fn over(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Convenience for [`Axis::over`]: sweeps a value list through one
+    /// mutator.
+    pub fn over_values<T, F>(
+        self,
+        axis: impl Into<String>,
+        values: impl IntoIterator<Item = T>,
+        apply: F,
+    ) -> Self
+    where
+        T: fmt::Display + Send + Sync + 'static,
+        F: Fn(&mut SsdConfig, &T) + Send + Sync + 'static,
+    {
+        self.over(Axis::over(axis, values, apply))
+    }
+
+    /// Expands the cartesian product of all axes into concrete, validated
+    /// [`SweepJob`]s — the batch a (future, parallel) executor runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::EmptyAxis`] for an axis without points and
+    /// [`SweepError::InvalidPoint`] for a combination whose configuration
+    /// does not validate.
+    pub fn jobs(&self) -> Result<Vec<SweepJob>, SweepError> {
+        let mut jobs = vec![SweepJob {
+            coordinates: Vec::new(),
+            config: self.base.clone(),
+            prepare: Vec::new(),
+        }];
+        for axis in &self.axes {
+            if axis.points.is_empty() {
+                return Err(SweepError::EmptyAxis(axis.name.clone()));
+            }
+            let mut next = Vec::with_capacity(jobs.len() * axis.points.len());
+            for job in &jobs {
+                for point in &axis.points {
+                    let mut config = job.config.clone();
+                    (point.mutate)(&mut config);
+                    let mut coordinates = job.coordinates.clone();
+                    coordinates.push(AxisValue {
+                        axis: axis.name.clone(),
+                        value: point.label.clone(),
+                    });
+                    let mut prepare = job.prepare.clone();
+                    if let Some(hook) = &point.prepare {
+                        prepare.push(Arc::clone(hook));
+                    }
+                    next.push(SweepJob { coordinates, config, prepare });
+                }
+            }
+            jobs = next;
+        }
+        for job in &jobs {
+            job.config.validate().map_err(|error| SweepError::InvalidPoint {
+                point: job.point_label(),
+                error,
+            })?;
+        }
+        Ok(jobs)
+    }
+
+    /// Runs the source across every combination, returning one
+    /// [`SweepPoint`] per evaluated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the expansion errors of [`jobs`](Self::jobs).
+    pub fn run<S: CommandSource + ?Sized>(&self, source: &S) -> Result<Sweep, SweepError> {
+        let jobs = self.jobs()?;
+        let mut points = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            points.push(job.execute(source)?);
+        }
+        Ok(Sweep {
+            axes: self.axes.iter().map(|a| a.name.clone()).collect(),
+            points,
+        })
+    }
+}
+
+/// An axis of artificial NAND aging: each point ages the constructed
+/// platform to the given normalised rated endurance (0.0 fresh – 1.0 end
+/// of life) before the source runs, leaving the configuration untouched.
+pub fn endurance_axis(points: &[f64]) -> Axis {
+    let mut axis = Axis::new("endurance");
+    for &endurance in points {
+        axis = axis.point_with_setup(
+            format!("{endurance:.2}"),
+            |_| {},
+            move |ssd| ssd.age_to_normalized(endurance),
+        );
+    }
+    axis
+}
 
 /// One bar group of Fig. 3 / Fig. 4: the three throughput columns of a
 /// single SSD configuration.
+///
+/// Renamed from `SweepPoint` in 0.2 — that name now belongs to the generic
+/// [`Explorer`] output (coordinates + full [`PerfReport`]). Code that
+/// serialised the old three-column shape should migrate to this type.
+#[must_use = "a host-sweep point carries the measured columns"]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SweepPoint {
+pub struct HostSweepPoint {
     /// Configuration name (e.g. "C6").
     pub config_name: String,
     /// Architecture summary.
@@ -35,7 +507,7 @@ pub struct SweepPoint {
     pub ssd_no_cache_mbps: f64,
 }
 
-impl SweepPoint {
+impl HostSweepPoint {
     /// Controller-side resource cost used to rank design points, as the
     /// paper does: channels and DRAM buffers (controller pins, DRAM devices
     /// and channel controllers) dominate the cost, the die count breaks
@@ -56,14 +528,14 @@ pub struct HostSweep {
     /// Interface + DMA + DRAM best-case throughput, MB/s.
     pub interface_plus_dram_mbps: f64,
     /// Per-configuration columns.
-    pub points: Vec<SweepPoint>,
+    pub points: Vec<HostSweepPoint>,
 }
 
 impl HostSweep {
     /// The configurations that saturate the host interface: their cached
     /// throughput reaches at least `threshold` (e.g. 0.95) of the
     /// interface-plus-DRAM best case.
-    pub fn saturating_points(&self, threshold: f64) -> Vec<&SweepPoint> {
+    pub fn saturating_points(&self, threshold: f64) -> Vec<&HostSweepPoint> {
         self.points
             .iter()
             .filter(|p| p.ssd_cache_mbps >= threshold * self.interface_plus_dram_mbps)
@@ -75,7 +547,7 @@ impl HostSweep {
     /// tie-break); if none saturates, the cheapest configuration overall
     /// (the paper's fallback when the no-cache SATA window flattens every
     /// configuration).
-    pub fn optimal_design_point(&self, threshold: f64) -> Option<&SweepPoint> {
+    pub fn optimal_design_point(&self, threshold: f64) -> Option<&HostSweepPoint> {
         let saturating = self.saturating_points(threshold);
         if saturating.is_empty() {
             self.points.iter().min_by_key(|p| p.resource_cost())
@@ -89,8 +561,8 @@ impl HostSweep {
     /// achieves at least its throughput at a lower or equal cost (used for
     /// the PCIe experiment, where the host interface no longer saturates and
     /// the search is driven by hardware cost).
-    pub fn pareto_front(&self) -> Vec<&SweepPoint> {
-        let mut front: Vec<&SweepPoint> = self
+    pub fn pareto_front(&self) -> Vec<&HostSweepPoint> {
+        let mut front: Vec<&HostSweepPoint> = self
             .points
             .iter()
             .filter(|candidate| {
@@ -132,49 +604,100 @@ impl HostSweep {
     }
 }
 
-/// Sweeps `configs` under `host`, running the given workload for the
-/// DDR+FLASH, cached and no-cache variants of every configuration.
-pub fn sweep_host_interface(
+/// Sweeps `configs` under the given host interface with an [`Explorer`]
+/// over the configuration × cache-policy product, augmenting the
+/// full-pipeline columns with the component-path reference series
+/// (`ideal`, `+DDR`, `DDR+FLASH`) measured outside the session pipeline.
+///
+/// # Errors
+///
+/// Returns [`SweepError::InvalidPoint`] if any supplied configuration does
+/// not validate.
+pub fn host_interface_study(
     host: HostInterfaceConfig,
     configs: &[SsdConfig],
     workload: &Workload,
-) -> HostSweep {
+) -> Result<HostSweep, SweepError> {
+    if configs.is_empty() {
+        return Ok(HostSweep {
+            interface: host.name(),
+            interface_ideal_mbps: 0.0,
+            interface_plus_dram_mbps: 0.0,
+            points: Vec::new(),
+        });
+    }
+
+    let explorer = Explorer::new(configs[0].clone())
+        .over(Axis::configs("config", configs.to_vec()))
+        .over(Axis::new("host").point(host.name(), move |cfg| cfg.host_interface = host))
+        .over(
+            Axis::new("cache")
+                .point(CachePolicy::WriteCache.label(), |cfg| {
+                    cfg.cache_policy = CachePolicy::WriteCache;
+                })
+                .point(CachePolicy::NoCache.label(), |cfg| {
+                    cfg.cache_policy = CachePolicy::NoCache;
+                }),
+        );
+    let sweep = explorer.run(workload)?;
+
     let mut points = Vec::with_capacity(configs.len());
     let mut interface_ideal = 0.0;
     let mut interface_plus_dram: f64 = 0.0;
-    for base in configs {
-        let mut cached_cfg = base.clone();
-        cached_cfg.host_interface = host;
-        cached_cfg.cache_policy = CachePolicy::WriteCache;
-        let mut no_cache_cfg = cached_cfg.clone();
-        no_cache_cfg.cache_policy = CachePolicy::NoCache;
-
-        let mut ssd = Ssd::new(cached_cfg);
+    for (index, base) in configs.iter().enumerate() {
+        // Component-path reference series, measured on the cached variant
+        // exactly as the paper's figures do.
+        let mut component_cfg = base.clone();
+        component_cfg.host_interface = host;
+        component_cfg.cache_policy = CachePolicy::WriteCache;
+        let mut ssd = Ssd::try_new(component_cfg).map_err(|error| {
+            SweepError::InvalidPoint { point: format!("config={}", base.name), error }
+        })?;
         interface_ideal = ssd.interface_ideal_mbps();
         interface_plus_dram = interface_plus_dram.max(ssd.host_dram_only_mbps(workload));
         let ddr_flash = ssd.flash_path_mbps(workload);
-        let cache_report = ssd.run(workload);
 
-        let mut ssd_nc = Ssd::new(no_cache_cfg);
-        let no_cache_report = ssd_nc.run(workload);
+        // The product expands config-major with the cache axis varying
+        // fastest, so the two policy columns of configuration `index` sit at
+        // fixed positions — a positional join that stays correct even when
+        // two supplied configurations share a name.
+        let cached = &sweep.points[index * 2];
+        let no_cache = &sweep.points[index * 2 + 1];
+        debug_assert_eq!(cached.value("cache"), Some(CachePolicy::WriteCache.label()));
+        debug_assert_eq!(no_cache.value("cache"), Some(CachePolicy::NoCache.label()));
 
-        points.push(SweepPoint {
+        points.push(HostSweepPoint {
             config_name: base.name.clone(),
             architecture: base.architecture_label(),
             channels: base.channels,
             dram_buffers: base.dram_buffers,
             total_dies: base.total_dies(),
             ddr_flash_mbps: ddr_flash,
-            ssd_cache_mbps: cache_report.throughput_mbps,
-            ssd_no_cache_mbps: no_cache_report.throughput_mbps,
+            ssd_cache_mbps: cached.report.throughput_mbps,
+            ssd_no_cache_mbps: no_cache.report.throughput_mbps,
         });
     }
-    HostSweep {
+    Ok(HostSweep {
         interface: host.name(),
         interface_ideal_mbps: interface_ideal,
         interface_plus_dram_mbps: interface_plus_dram,
         points,
-    }
+    })
+}
+
+/// Sweeps `configs` under `host`, running the given workload for the
+/// DDR+FLASH, cached and no-cache variants of every configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `host_interface_study`, the Explorer-based re-expression"
+)]
+pub fn sweep_host_interface(
+    host: HostInterfaceConfig,
+    configs: &[SsdConfig],
+    workload: &Workload,
+) -> HostSweep {
+    host_interface_study(host, configs, workload)
+        .expect("legacy sweep configurations are structurally valid")
 }
 
 /// One sample of the wear-out experiment (Fig. 5).
@@ -189,36 +712,59 @@ pub struct WearoutPoint {
 }
 
 /// Sweeps NAND wear from fresh to rated end of life for the given ECC
-/// scheme on `config`, measuring sequential read and write throughput at
-/// each point (the paper samples the normalised endurance axis 0.0–1.0).
-pub fn wearout_sweep(
+/// scheme on `config` with an [`Explorer`] over an [`endurance_axis`],
+/// measuring sequential read and write throughput at each point (the paper
+/// samples the normalised endurance axis 0.0–1.0).
+///
+/// # Errors
+///
+/// Returns [`SweepError::InvalidPoint`] if `config` does not validate.
+pub fn wearout_study(
     config: &SsdConfig,
     ecc: EccScheme,
     endurance_points: &[f64],
     commands_per_point: u64,
-) -> Vec<WearoutPoint> {
+) -> Result<Vec<WearoutPoint>, SweepError> {
+    if endurance_points.is_empty() {
+        return Ok(Vec::new());
+    }
     let mut cfg = config.clone();
     cfg.ecc = ecc;
-    let mut ssd = Ssd::new(cfg);
+    let explorer = Explorer::new(cfg).over(endurance_axis(endurance_points));
     let read_wl = Workload::builder(AccessPattern::SequentialRead)
         .command_count(commands_per_point)
         .build();
     let write_wl = Workload::builder(AccessPattern::SequentialWrite)
         .command_count(commands_per_point)
         .build();
-    endurance_points
+    let reads = explorer.run(&read_wl)?;
+    let writes = explorer.run(&write_wl)?;
+    Ok(endurance_points
         .iter()
-        .map(|&endurance| {
-            ssd.age_to_normalized(endurance);
-            let read = ssd.run(&read_wl).throughput_mbps;
-            let write = ssd.run(&write_wl).throughput_mbps;
-            WearoutPoint {
-                normalized_endurance: endurance,
-                read_mbps: read,
-                write_mbps: write,
-            }
+        .zip(reads.points)
+        .zip(writes.points)
+        .map(|((&endurance, read), write)| WearoutPoint {
+            normalized_endurance: endurance,
+            read_mbps: read.report.throughput_mbps,
+            write_mbps: write.report.throughput_mbps,
         })
-        .collect()
+        .collect())
+}
+
+/// Sweeps NAND wear for the given ECC scheme, measuring sequential read and
+/// write throughput at each endurance point.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wearout_study`, the Explorer-based re-expression"
+)]
+pub fn wearout_sweep(
+    config: &SsdConfig,
+    ecc: EccScheme,
+    endurance_points: &[f64],
+    commands_per_point: u64,
+) -> Vec<WearoutPoint> {
+    wearout_study(config, ecc, endurance_points, commands_per_point)
+        .expect("legacy wear-out configuration is structurally valid")
 }
 
 #[cfg(test)]
@@ -250,8 +796,114 @@ mod tests {
     }
 
     #[test]
-    fn sweep_produces_one_point_per_config() {
-        let sweep = sweep_host_interface(HostInterfaceConfig::Sata2, &small_table(), &quick_workload());
+    fn explorer_with_no_axes_runs_the_base_configuration() {
+        let sweep = Explorer::new(small_table().remove(0))
+            .run(&quick_workload())
+            .unwrap();
+        assert_eq!(sweep.len(), 1);
+        assert!(sweep.axes.is_empty());
+        assert_eq!(sweep.points[0].report.config_name, "small");
+        assert_eq!(sweep.points[0].label(), "small");
+        assert!(sweep.points[0].report.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn explorer_expands_the_cartesian_product_in_order() {
+        let explorer = Explorer::new(small_table().remove(0))
+            .over_values("channels", [2u32, 4], |cfg, &c| {
+                cfg.channels = c;
+                cfg.dram_buffers = c;
+            })
+            .over(
+                Axis::new("cache")
+                    .point("cache", |cfg| cfg.cache_policy = CachePolicy::WriteCache)
+                    .point("no cache", |cfg| cfg.cache_policy = CachePolicy::NoCache),
+            );
+        let jobs = explorer.jobs().unwrap();
+        assert_eq!(jobs.len(), 4);
+        // Last axis varies fastest.
+        assert_eq!(jobs[0].point_label(), "channels=2, cache=cache");
+        assert_eq!(jobs[1].point_label(), "channels=2, cache=no cache");
+        assert_eq!(jobs[3].point_label(), "channels=4, cache=no cache");
+        assert_eq!(jobs[3].config.channels, 4);
+        assert_eq!(jobs[3].config.cache_policy, CachePolicy::NoCache);
+
+        let sweep = explorer.run(&quick_workload()).unwrap();
+        assert_eq!(sweep.axes, vec!["channels".to_string(), "cache".to_string()]);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep.select("cache", "no cache").len(), 2);
+        assert_eq!(sweep.points[2].value("channels"), Some("4"));
+        // More channels must not hurt cached sequential writes.
+        let best = sweep.best_by(|r| r.throughput_mbps).unwrap();
+        assert_eq!(best.value("channels"), Some("4"));
+        let table = sweep.to_table();
+        assert!(table.contains("4 · no cache"), "{table}");
+    }
+
+    #[test]
+    fn explorer_surfaces_invalid_points_instead_of_panicking() {
+        let err = Explorer::new(small_table().remove(0))
+            .over_values("channels", [0u32], |cfg, &c| cfg.channels = c)
+            .run(&quick_workload())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::InvalidPoint {
+                point: "channels=0".to_string(),
+                error: ConfigError::ZeroDimension("channels"),
+            }
+        );
+        assert!(err.to_string().contains("channels=0"));
+
+        let empty = Explorer::new(small_table().remove(0))
+            .over(Axis::new("void"))
+            .run(&quick_workload())
+            .unwrap_err();
+        assert_eq!(empty, SweepError::EmptyAxis("void".to_string()));
+    }
+
+    #[test]
+    fn axis_constructors_label_their_points() {
+        let axis = Axis::over("qd", [1u32, 32], |cfg, &qd| {
+            cfg.queue_depth_override = Some(qd);
+        });
+        assert_eq!(axis.name(), "qd");
+        assert_eq!(axis.len(), 2);
+        assert!(!axis.is_empty());
+
+        let configs_axis = Axis::configs("config", small_table());
+        assert_eq!(configs_axis.len(), 2);
+        let jobs = Explorer::new(SsdConfig::default())
+            .over(configs_axis)
+            .jobs()
+            .unwrap();
+        assert_eq!(jobs[0].point_label(), "config=small");
+        assert_eq!(jobs[1].config.channels, 8, "whole config replaced");
+    }
+
+    #[test]
+    fn sweep_results_are_serialization_ready() {
+        // The vendored serde is a marker stand-in; this pins the derive so
+        // swapping in the real serde keeps `Sweep` dumpable by experiments.
+        fn assert_serialize<T: serde::Serialize>() {}
+        assert_serialize::<Sweep>();
+        assert_serialize::<SweepPoint>();
+        assert_serialize::<AxisValue>();
+        assert_serialize::<HostSweep>();
+
+        let sweep = Explorer::new(small_table().remove(0))
+            .over_values("seed", [1u64, 2], |cfg, &s| cfg.seed = s)
+            .run(&quick_workload())
+            .unwrap();
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep.points[0].value("seed"), Some("1"));
+    }
+
+    #[test]
+    fn host_interface_study_produces_one_point_per_config() {
+        let sweep =
+            host_interface_study(HostInterfaceConfig::Sata2, &small_table(), &quick_workload())
+                .unwrap();
         assert_eq!(sweep.points.len(), 2);
         assert!(sweep.interface_ideal_mbps > 200.0);
         assert!(sweep.interface_plus_dram_mbps > 0.0);
@@ -262,13 +914,23 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_sweep_shim_matches_the_explorer_study() {
+        let workload = quick_workload();
+        let legacy = sweep_host_interface(HostInterfaceConfig::Sata2, &small_table(), &workload);
+        let study =
+            host_interface_study(HostInterfaceConfig::Sata2, &small_table(), &workload).unwrap();
+        assert_eq!(legacy, study);
+    }
+
+    #[test]
     fn optimal_design_point_prefers_cheapest_controller_among_saturating() {
         let sweep = HostSweep {
             interface: "test".to_string(),
             interface_ideal_mbps: 280.0,
             interface_plus_dram_mbps: 250.0,
             points: vec![
-                SweepPoint {
+                HostSweepPoint {
                     config_name: "tiny".into(),
                     architecture: String::new(),
                     channels: 2,
@@ -278,7 +940,7 @@ mod tests {
                     ssd_cache_mbps: 50.0,
                     ssd_no_cache_mbps: 40.0,
                 },
-                SweepPoint {
+                HostSweepPoint {
                     config_name: "right".into(),
                     architecture: String::new(),
                     channels: 16,
@@ -288,7 +950,7 @@ mod tests {
                     ssd_cache_mbps: 248.0,
                     ssd_no_cache_mbps: 60.0,
                 },
-                SweepPoint {
+                HostSweepPoint {
                     config_name: "huge".into(),
                     architecture: String::new(),
                     channels: 32,
@@ -311,7 +973,7 @@ mod tests {
             interface_ideal_mbps: 280.0,
             interface_plus_dram_mbps: 250.0,
             points: vec![
-                SweepPoint {
+                HostSweepPoint {
                     config_name: "a".into(),
                     architecture: String::new(),
                     channels: 4,
@@ -321,7 +983,7 @@ mod tests {
                     ssd_cache_mbps: 40.0,
                     ssd_no_cache_mbps: 40.0,
                 },
-                SweepPoint {
+                HostSweepPoint {
                     config_name: "b".into(),
                     architecture: String::new(),
                     channels: 8,
@@ -339,7 +1001,7 @@ mod tests {
 
     #[test]
     fn pareto_front_keeps_only_undominated_points() {
-        let mk = |name: &str, channels: u32, dies: u32, cache: f64| SweepPoint {
+        let mk = |name: &str, channels: u32, dies: u32, cache: f64| HostSweepPoint {
             config_name: name.into(),
             architecture: String::new(),
             channels,
@@ -371,11 +1033,11 @@ mod tests {
     }
 
     #[test]
-    fn wearout_sweep_shows_adaptive_advantage_early_in_life() {
+    fn wearout_study_shows_adaptive_advantage_early_in_life() {
         let cfg = configs::fig5_config(EccScheme::fixed_bch(40));
         let points = [0.0, 1.0];
-        let fixed = wearout_sweep(&cfg, EccScheme::fixed_bch(40), &points, 96);
-        let adaptive = wearout_sweep(&cfg, EccScheme::adaptive_bch(40), &points, 96);
+        let fixed = wearout_study(&cfg, EccScheme::fixed_bch(40), &points, 96).unwrap();
+        let adaptive = wearout_study(&cfg, EccScheme::adaptive_bch(40), &points, 96).unwrap();
         assert_eq!(fixed.len(), 2);
         // Fresh device: adaptive reads faster.
         assert!(adaptive[0].read_mbps > fixed[0].read_mbps);
@@ -386,5 +1048,15 @@ mod tests {
         let write_gap = (adaptive[0].write_mbps - fixed[0].write_mbps).abs()
             / fixed[0].write_mbps.max(1e-9);
         assert!(write_gap < 0.15, "write gap = {write_gap}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wearout_shim_matches_the_explorer_study() {
+        let cfg = configs::fig5_config(EccScheme::fixed_bch(40));
+        let points = [0.0, 0.5];
+        let legacy = wearout_sweep(&cfg, EccScheme::adaptive_bch(40), &points, 64);
+        let study = wearout_study(&cfg, EccScheme::adaptive_bch(40), &points, 64).unwrap();
+        assert_eq!(legacy, study);
     }
 }

@@ -5,12 +5,16 @@
 //! AMBA AHB interconnect, controller CPU, channel/way controllers, ECC,
 //! compressor, host interfaces and the WAF-based FTL abstraction) into a
 //! complete SSD platform ([`Ssd`]) driven by a single configuration object
-//! ([`SsdConfig`]), and provides the exploration drivers that regenerate the
-//! paper's experiments:
+//! ([`SsdConfig`]). Execution is session based: any
+//! [`CommandSource`](ssdx_hostif::CommandSource) — a synthetic workload, a
+//! trace, a closure generator — runs through [`Ssd::simulate`] in one shot,
+//! or through a steppable [`SimSession`] with [`Probe`] observers for
+//! mid-run sampling. On top sits the generic [`Explorer`] sweep engine and
+//! the drivers that regenerate the paper's experiments:
 //!
-//! * [`explorer::sweep_host_interface`] — the optimal-design-point sweeps of
+//! * [`explorer::host_interface_study`] — the optimal-design-point sweeps of
 //!   Figs. 3 and 4 over the Table II configurations ([`configs::table2_configs`]);
-//! * [`explorer::wearout_sweep`] — the ECC/wear-out study of Fig. 5;
+//! * [`explorer::wearout_study`] — the ECC/wear-out study of Fig. 5;
 //! * [`speed::measure_kcps_sweep`] — the simulation-speed study of Fig. 6
 //!   over the Table III configurations ([`configs::table3_configs`]);
 //! * [`configs::ocz_vertex_like`] — the validation configuration of Fig. 2.
@@ -26,13 +30,13 @@
 //!     .topology(4, 4, 2)
 //!     .dram_buffers(4)
 //!     .build()?;
-//! let mut ssd = Ssd::new(config);
+//! let mut ssd = Ssd::try_new(config)?;
 //!
 //! // 4 KB sequential writes, as in the paper's experiments.
 //! let workload = Workload::builder(AccessPattern::SequentialWrite)
 //!     .command_count(256)
 //!     .build();
-//! let report = ssd.run(&workload);
+//! let report = ssd.simulate(&workload);
 //! println!("{report}");
 //! # Ok::<(), ssdx_core::ConfigError>(())
 //! ```
@@ -45,6 +49,7 @@ pub mod configs;
 pub mod explorer;
 pub mod layout;
 pub mod report;
+pub mod session;
 pub mod speed;
 pub mod ssd;
 
@@ -52,8 +57,14 @@ pub use config::{
     CachePolicy, CompressorConfig, ConfigError, FtlMode, HostInterfaceConfig, SsdConfig,
     SsdConfigBuilder,
 };
-pub use explorer::{sweep_host_interface, wearout_sweep, HostSweep, SweepPoint, WearoutPoint};
+#[allow(deprecated)]
+pub use explorer::{sweep_host_interface, wearout_sweep};
+pub use explorer::{
+    endurance_axis, host_interface_study, wearout_study, Axis, AxisValue, Explorer, HostSweep,
+    HostSweepPoint, Sweep, SweepError, SweepJob, SweepPoint, WearoutPoint,
+};
 pub use layout::{PageAllocator, PageTarget};
 pub use report::{PerfReport, UtilizationBreakdown};
+pub use session::{CommandRecord, CompletionLog, Probe, SessionSnapshot, SimSession};
 pub use speed::{measure_kcps, measure_kcps_sweep, SpeedPoint};
 pub use ssd::Ssd;

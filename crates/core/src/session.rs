@@ -1,0 +1,738 @@
+//! Steppable simulation sessions with observer probes.
+//!
+//! [`Ssd::session`] turns any [`CommandSource`](ssdx_hostif::CommandSource)
+//! into a [`SimSession`]: an
+//! in-flight simulation that can be advanced one command at a time
+//! ([`step`](SimSession::step)), up to a simulated deadline
+//! ([`run_until`](SimSession::run_until)), or to completion
+//! ([`finish`](SimSession::finish)). Mid-run state — per-command completion
+//! records, protocol-window occupancy, per-component utilization — is
+//! observable through [`Probe`]s and [`snapshot`](SimSession::snapshot), so
+//! design-space exploration can sample latency and queue depth *during* a
+//! run instead of only post-hoc, which is the fine-grained visibility the
+//! paper's platform is built around.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_core::{CompletionLog, Ssd, SsdConfig};
+//! use ssdx_hostif::{AccessPattern, Workload};
+//!
+//! let mut ssd = Ssd::try_new(SsdConfig::default())?;
+//! let workload = Workload::builder(AccessPattern::SequentialWrite)
+//!     .command_count(64)
+//!     .build();
+//! let mut log = CompletionLog::new();
+//! let mut session = ssd.session(&workload);
+//! session.attach(&mut log);
+//! let report = session.finish();
+//! assert_eq!(log.records().len(), 64);
+//! assert_eq!(report.commands, 64);
+//! # Ok::<(), ssdx_core::ConfigError>(())
+//! ```
+
+use crate::config::{CachePolicy, FtlMode};
+use crate::report::{PerfReport, UtilizationBreakdown};
+use crate::ssd::Ssd;
+use serde::Serialize;
+use ssdx_compress::{CompressorModel, CompressorPlacement};
+use ssdx_dram::AccessKind;
+use ssdx_ftl::{PageMappedFtl, WorkloadMix};
+use ssdx_hostif::{HostCommand, HostOp};
+use ssdx_nand::NandOp;
+use ssdx_sim::stats::LatencyHistogram;
+use ssdx_sim::SimTime;
+use std::borrow::Cow;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One completed host command, as delivered to [`Probe::on_command`] and
+/// returned by [`SimSession::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CommandRecord {
+    /// Zero-based position of the command in the source stream.
+    pub index: u64,
+    /// The command itself.
+    pub command: HostCommand,
+    /// Instant the command was admitted past the protocol queue window.
+    pub admitted_at: SimTime,
+    /// Instant its completion was notified to the host.
+    pub completed_at: SimTime,
+}
+
+impl CommandRecord {
+    /// Host-visible latency of the command (admission to completion).
+    pub fn latency(&self) -> SimTime {
+        self.completed_at.saturating_sub(self.admitted_at)
+    }
+}
+
+/// A mid-run sample of the session, as produced by
+/// [`SimSession::snapshot`] and delivered to [`Probe::on_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SessionSnapshot {
+    /// Simulated instant of the sample (latest host-visible completion).
+    pub at: SimTime,
+    /// Commands completed so far.
+    pub commands_completed: u64,
+    /// Commands still waiting in the source stream.
+    pub commands_remaining: u64,
+    /// Completions currently tracked inside the protocol queue window.
+    pub outstanding: usize,
+    /// Mean host-visible latency over the commands completed so far.
+    pub mean_latency: SimTime,
+    /// Host payload bytes moved so far.
+    pub bytes: u64,
+    /// Per-component utilization over the activity horizon so far.
+    pub utilization: UtilizationBreakdown,
+}
+
+/// Observer of an in-flight [`SimSession`].
+///
+/// All methods have empty defaults, so a probe implements only what it
+/// cares about. For every run the session guarantees the ordering:
+/// [`on_command`](Probe::on_command) fires once per command in stream
+/// order, [`on_snapshot`](Probe::on_snapshot) fires between commands at the
+/// configured cadence, and [`on_finish`](Probe::on_finish) fires exactly
+/// once, last.
+pub trait Probe {
+    /// Called after each command completes, in stream order.
+    fn on_command(&mut self, record: &CommandRecord) {
+        let _ = record;
+    }
+
+    /// Called with a utilization/latency sample every
+    /// [`sample_every`](SimSession::sample_every) commands.
+    fn on_snapshot(&mut self, snapshot: &SessionSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// Called once when the session finishes, with the final report.
+    fn on_finish(&mut self, report: &PerfReport) {
+        let _ = report;
+    }
+}
+
+/// A ready-made [`Probe`] that records every [`CommandRecord`] and
+/// [`SessionSnapshot`] it observes — convenient for tests and for quick
+/// latency-over-time plots.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionLog {
+    records: Vec<CommandRecord>,
+    snapshots: Vec<SessionSnapshot>,
+    finished: bool,
+}
+
+impl CompletionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        CompletionLog::default()
+    }
+
+    /// Every command completion observed, in stream order.
+    pub fn records(&self) -> &[CommandRecord] {
+        &self.records
+    }
+
+    /// Every periodic snapshot observed, in time order.
+    pub fn snapshots(&self) -> &[SessionSnapshot] {
+        &self.snapshots
+    }
+
+    /// `true` once [`Probe::on_finish`] has fired.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+impl Probe for CompletionLog {
+    fn on_command(&mut self, record: &CommandRecord) {
+        self.records.push(*record);
+    }
+
+    fn on_snapshot(&mut self, snapshot: &SessionSnapshot) {
+        self.snapshots.push(*snapshot);
+    }
+
+    fn on_finish(&mut self, _report: &PerfReport) {
+        self.finished = true;
+    }
+}
+
+/// An in-flight simulation of one command stream on one [`Ssd`].
+///
+/// Created by [`Ssd::session`]; drop-in equivalent to the one-shot
+/// [`Ssd::simulate`] when driven straight to [`finish`](SimSession::finish)
+/// — stepping produces byte-identical reports, which the integration suite
+/// asserts. The session holds the per-run pipeline state (protocol window,
+/// DRAM back-pressure ledger, WAF carry, latency histogram, optional
+/// page-mapped FTL), while the borrowed platform holds the component
+/// models.
+#[must_use = "a session simulates nothing until stepped or finished"]
+pub struct SimSession<'a> {
+    ssd: &'a mut Ssd,
+    label: String,
+    mix: WorkloadMix,
+    commands: Cow<'a, [HostCommand]>,
+    cursor: usize,
+    queue_depth: usize,
+    buffer_capacity: u64,
+    waf: f64,
+    compressor: Option<CompressorModel>,
+    ftl: Option<PageMappedFtl>,
+    window: BinaryHeap<Reverse<SimTime>>,
+    in_flight: BinaryHeap<Reverse<(SimTime, u64)>>,
+    in_flight_bytes: u64,
+    waf_carry: f64,
+    latency: LatencyHistogram,
+    total_bytes: u64,
+    last_completion: SimTime,
+    probes: Vec<&'a mut dyn Probe>,
+    sample_every: Option<u64>,
+}
+
+impl<'a> SimSession<'a> {
+    pub(crate) fn new(
+        ssd: &'a mut Ssd,
+        label: String,
+        commands: Cow<'a, [HostCommand]>,
+        mix: WorkloadMix,
+    ) -> Self {
+        ssd.reset_activity();
+
+        let queue_depth = ssd.config().queue_depth() as usize;
+        let page_bytes = ssd.config().nand.geometry.page_size_bytes;
+        let waf = ssd.config().waf.waf(mix);
+        let buffer_capacity =
+            ssd.config().dram_buffers as u64 * ssd.config().dram_buffer_capacity;
+        let compressor = ssd.config().compressor.build();
+
+        // In page-mapped mode an actual FTL is instantiated, sized to cover
+        // the logical footprint the command stream touches (plus the
+        // configured over-provisioning), and its garbage collection issues
+        // real NAND operations that compete with host traffic.
+        let ftl: Option<PageMappedFtl> = if ssd.config().ftl_mode == FtlMode::PageMapped {
+            let max_end = commands
+                .iter()
+                .map(|c| c.offset + c.bytes as u64)
+                .max()
+                .unwrap_or(page_bytes as u64);
+            let logical_pages = max_end.div_ceil(page_bytes as u64).max(1);
+            let pages_per_block = ssd.config().nand.geometry.pages_per_block as u64;
+            let blocks = ((logical_pages as f64
+                * (1.0 + ssd.config().waf.over_provisioning)
+                / pages_per_block as f64)
+                .ceil() as u32)
+                .max(8)
+                + 8;
+            Some(PageMappedFtl::new(
+                blocks,
+                ssd.config().nand.geometry.pages_per_block,
+                ssd.config().waf.over_provisioning,
+            ))
+        } else {
+            None
+        };
+
+        SimSession {
+            ssd,
+            label,
+            mix,
+            commands,
+            cursor: 0,
+            queue_depth,
+            buffer_capacity,
+            waf,
+            compressor,
+            ftl,
+            window: BinaryHeap::new(),
+            in_flight: BinaryHeap::new(),
+            in_flight_bytes: 0,
+            waf_carry: 0.0,
+            latency: LatencyHistogram::new(),
+            total_bytes: 0,
+            last_completion: SimTime::ZERO,
+            probes: Vec::new(),
+            sample_every: None,
+        }
+    }
+
+    /// Registers a probe; its callbacks fire for every subsequent step. The
+    /// probe outlives the session, so its collected data can be read back
+    /// after [`finish`](Self::finish).
+    pub fn attach(&mut self, probe: &'a mut dyn Probe) {
+        self.probes.push(probe);
+    }
+
+    /// Emits a [`SessionSnapshot`] to every probe each `commands` completed
+    /// commands (in addition to the per-command records). `0` disables
+    /// periodic snapshots again.
+    pub fn sample_every(&mut self, commands: u64) {
+        self.sample_every = if commands == 0 { None } else { Some(commands) };
+    }
+
+    /// Report label of the underlying source.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Workload mix driving the WAF abstraction for this run.
+    pub fn mix(&self) -> WorkloadMix {
+        self.mix
+    }
+
+    /// Latest host-visible completion instant (zero before the first step).
+    pub fn now(&self) -> SimTime {
+        self.last_completion
+    }
+
+    /// Commands completed so far.
+    pub fn completed(&self) -> u64 {
+        self.cursor as u64
+    }
+
+    /// Commands still waiting in the stream.
+    pub fn remaining(&self) -> u64 {
+        (self.commands.len() - self.cursor) as u64
+    }
+
+    /// `true` once every command in the stream has been executed.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.commands.len()
+    }
+
+    /// A mid-run sample of latency, queue occupancy and per-component
+    /// utilization, computed over the activity horizon so far.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let horizon = self.ssd.activity_horizon(self.last_completion);
+        SessionSnapshot {
+            at: self.last_completion,
+            commands_completed: self.cursor as u64,
+            commands_remaining: self.remaining(),
+            outstanding: self.window.len(),
+            mean_latency: self.latency.mean(),
+            bytes: self.total_bytes,
+            utilization: self.ssd.utilization_snapshot(horizon),
+        }
+    }
+
+    /// Executes the next command through the full pipeline, returning its
+    /// completion record, or `None` when the stream is exhausted.
+    pub fn step(&mut self) -> Option<CommandRecord> {
+        let cmd = *self.commands.get(self.cursor)?;
+        let index = self.cursor as u64;
+        self.cursor += 1;
+
+        let (admitted_at, completed_at) = self.execute(&cmd);
+
+        self.window.push(Reverse(completed_at));
+        self.latency.record(completed_at.saturating_sub(admitted_at));
+        if cmd.op != HostOp::Trim {
+            self.total_bytes += cmd.bytes as u64;
+        }
+        self.last_completion = self.last_completion.max(completed_at);
+
+        let record = CommandRecord {
+            index,
+            command: cmd,
+            admitted_at,
+            completed_at,
+        };
+        for probe in &mut self.probes {
+            probe.on_command(&record);
+        }
+        if let Some(every) = self.sample_every {
+            if self.cursor as u64 % every == 0 && !self.probes.is_empty() {
+                let snapshot = self.snapshot();
+                for probe in &mut self.probes {
+                    probe.on_snapshot(&snapshot);
+                }
+            }
+        }
+        Some(record)
+    }
+
+    /// Steps until the stream is exhausted or the simulated clock
+    /// ([`now`](Self::now)) reaches `deadline`, returning the number of
+    /// commands executed. Commands are atomic: the command whose completion
+    /// crosses the deadline is still executed in full.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut executed = 0;
+        while !self.is_done() && self.last_completion < deadline {
+            if self.step().is_none() {
+                break;
+            }
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Drains the remaining commands and produces the final report,
+    /// notifying every probe's [`Probe::on_finish`].
+    pub fn finish(mut self) -> PerfReport {
+        while self.step().is_some() {}
+        let reported_waf = match &self.ftl {
+            Some(f) => f.stats().waf(),
+            None => self.waf,
+        };
+        let latency = std::mem::take(&mut self.latency);
+        let report = self.ssd.build_report(
+            &self.label,
+            self.commands.len() as u64,
+            self.total_bytes,
+            self.last_completion,
+            reported_waf,
+            latency,
+        );
+        for probe in &mut self.probes {
+            probe.on_finish(&report);
+        }
+        report
+    }
+
+    /// Pushes one command through the pipeline, returning its admission and
+    /// host-visible completion instants.
+    fn execute(&mut self, cmd: &HostCommand) -> (SimTime, SimTime) {
+        let page_bytes = self.ssd.config().nand.geometry.page_size_bytes;
+        let raw_page_bytes = self.ssd.config().nand.geometry.raw_page_bytes();
+
+        // --- Admission: protocol queue window ----------------------------
+        let mut admit = cmd.issue_at;
+        if self.window.len() >= self.queue_depth {
+            if let Some(Reverse(earliest)) = self.window.pop() {
+                admit = admit.max(earliest);
+            }
+        }
+
+        let completion = match cmd.op {
+            HostOp::Write => {
+                // --- DRAM-buffer back-pressure ---------------------------
+                while self.in_flight_bytes + cmd.bytes as u64 > self.buffer_capacity {
+                    match self.in_flight.pop() {
+                        Some(Reverse((flushed_at, bytes))) => {
+                            admit = admit.max(flushed_at);
+                            self.in_flight_bytes -= bytes;
+                        }
+                        None => break,
+                    }
+                }
+
+                // --- Host link + DMA into the DRAM buffer ----------------
+                let host_payload = match self.compressor {
+                    Some(c) if c.placement == CompressorPlacement::HostSide => {
+                        c.output_bytes(cmd.bytes)
+                    }
+                    _ => cmd.bytes,
+                };
+                let transfer = self.ssd.iface.transfer_time(cmd.bytes);
+                let link = self.ssd.host_link.reserve(admit, transfer);
+                let host_side_comp_done = match self.compressor {
+                    Some(c) if c.placement == CompressorPlacement::HostSide => {
+                        link.end + c.compress_time(cmd.bytes)
+                    }
+                    _ => link.end,
+                };
+                let buf = (cmd.id % self.ssd.dram.len() as u64) as usize;
+                let dram_done = self.ssd.dram[buf]
+                    .access(host_side_comp_done, cmd.offset, host_payload, AccessKind::Write)
+                    .end;
+
+                // --- Firmware + descriptor traffic on the AHB -------------
+                let core = (cmd.id % self.ssd.cpus.len() as u64) as usize;
+                let fw = self.ssd.cpus[core].execute_command_overhead(admit.max(link.start));
+                let desc_bytes = 4 * self.ssd.cpus[core].bus_accesses_per_task() * 4;
+                let ahb_done = self.ssd.ahb.transfer(fw.start, core as u32, 0, desc_bytes).end;
+                let ready = dram_done.max(fw.end).max(ahb_done);
+
+                // --- Optional channel-side compression --------------------
+                let (nand_payload, comp_done) = match self.compressor {
+                    Some(c) if c.placement == CompressorPlacement::ChannelSide => {
+                        (c.output_bytes(host_payload), ready + c.compress_time(host_payload))
+                    }
+                    _ => (host_payload, ready),
+                };
+
+                // --- Translate into physical NAND programs ----------------
+                let mut last_nand = comp_done;
+                if let Some(f) = self.ftl.as_mut() {
+                    // Actual FTL: map every logical page, and charge the
+                    // relocations and erases its garbage collector performs
+                    // as real NAND operations.
+                    let logical_pages = cmd.bytes.div_ceil(page_bytes).max(1);
+                    for i in 0..logical_pages {
+                        let lpn = cmd.offset / page_bytes as u64 + i as u64;
+                        let (location, relocations, erases) = {
+                            let before = f.stats();
+                            let location = f.write(lpn).ok();
+                            let after = f.stats();
+                            (
+                                location,
+                                after.gc_relocations - before.gc_relocations,
+                                after.erases - before.erases,
+                            )
+                        };
+                        let target = match location {
+                            Some((blk, page)) => self.ssd.target_for_block(blk, page),
+                            None => self.ssd.allocator.next_write(),
+                        };
+                        let done = self.ssd.program_page_at(comp_done, buf, cmd.offset, target);
+                        last_nand = last_nand.max(done);
+                        for r in 0..relocations {
+                            // A relocation is a page read plus a page
+                            // program somewhere else in the array.
+                            let src = self.ssd.allocator.locate(lpn.wrapping_add(r + 1));
+                            let out = self.ssd.channels[src.channel as usize].execute(
+                                comp_done,
+                                src.way,
+                                src.die,
+                                NandOp::Read,
+                                src.addr,
+                                raw_page_bytes,
+                            );
+                            let dst = self.ssd.allocator.next_write();
+                            let done =
+                                self.ssd.program_page_at(out.complete_at, buf, cmd.offset, dst);
+                            last_nand = last_nand.max(done);
+                        }
+                        for e in 0..erases {
+                            let victim = self.ssd.allocator.locate(lpn.wrapping_add(e) ^ 0x5A5A);
+                            let done = self.ssd.erase_block_at(comp_done, victim);
+                            last_nand = last_nand.max(done);
+                        }
+                    }
+                } else {
+                    // WAF abstraction: inflate the physical page count
+                    // analytically and stripe the programs across the array.
+                    let host_pages = nand_payload.div_ceil(page_bytes).max(1);
+                    self.waf_carry += host_pages as f64 * (self.waf - 1.0);
+                    let mut phys_pages = host_pages;
+                    while self.waf_carry >= 1.0 {
+                        phys_pages += 1;
+                        self.waf_carry -= 1.0;
+                    }
+                    for _ in 0..phys_pages {
+                        let target = self.ssd.allocator.next_write();
+                        let done = self.ssd.program_page_at(comp_done, buf, cmd.offset, target);
+                        last_nand = last_nand.max(done);
+                    }
+                }
+
+                // --- Completion per DRAM-buffer policy --------------------
+                self.in_flight.push(Reverse((last_nand, cmd.bytes as u64)));
+                self.in_flight_bytes += cmd.bytes as u64;
+                match self.ssd.config().cache_policy {
+                    CachePolicy::WriteCache => dram_done.max(fw.end),
+                    CachePolicy::NoCache => last_nand.max(fw.end),
+                }
+            }
+            HostOp::Read => {
+                // --- Firmware + descriptor traffic ------------------------
+                let core = (cmd.id % self.ssd.cpus.len() as u64) as usize;
+                let fw = self.ssd.cpus[core].execute_command_overhead(admit);
+                let desc_bytes = 4 * self.ssd.cpus[core].bus_accesses_per_task() * 4;
+                let ahb_done = self.ssd.ahb.transfer(fw.start, core as u32, 0, desc_bytes).end;
+                let ready = fw.end.max(ahb_done);
+
+                // --- Read every page from the array -----------------------
+                let pages = cmd.bytes.div_ceil(page_bytes).max(1);
+                let first_lpn = cmd.offset / page_bytes as u64;
+                let buf = (cmd.id % self.ssd.dram.len() as u64) as usize;
+                let mut last_page = ready;
+                for p in 0..pages {
+                    let lpn = first_lpn + p as u64;
+                    let target = match self.ftl.as_ref().and_then(|f| f.lookup(lpn)) {
+                        Some((blk, page)) => self.ssd.target_for_block(blk, page),
+                        None => self.ssd.allocator.locate(lpn),
+                    };
+                    let (channel, way, die, addr) =
+                        (target.channel, target.way, target.die, target.addr);
+                    let out = self.ssd.channels[channel as usize].execute(
+                        ready,
+                        way,
+                        die,
+                        NandOp::Read,
+                        addr,
+                        raw_page_bytes,
+                    );
+                    let pe = self.ssd.channels[channel as usize]
+                        .die(way, die)
+                        .expect("allocator targets are in range")
+                        .block_pe_cycles(addr);
+                    let dec_latency = self.ssd.config().ecc.decode_latency_for(
+                        page_bytes,
+                        pe,
+                        out.expected_raw_errors,
+                    );
+                    let dec = self.ssd.ecc_decoders[channel as usize]
+                        .reserve(out.complete_at, dec_latency);
+                    let decomp_done = match self.compressor {
+                        Some(c) if c.placement == CompressorPlacement::ChannelSide => {
+                            dec.end + c.decompress_time(page_bytes)
+                        }
+                        _ => dec.end,
+                    };
+                    let dram_done = self.ssd.dram[buf]
+                        .access(decomp_done, cmd.offset, page_bytes, AccessKind::Write)
+                        .end;
+                    last_page = last_page.max(dram_done);
+                }
+
+                // --- Return the data to the host --------------------------
+                let host_side_decomp = match self.compressor {
+                    Some(c) if c.placement == CompressorPlacement::HostSide => {
+                        last_page + c.decompress_time(cmd.bytes)
+                    }
+                    _ => last_page,
+                };
+                let transfer = self.ssd.iface.transfer_time(cmd.bytes);
+                self.ssd.host_link.reserve(host_side_decomp, transfer).end
+            }
+            HostOp::Trim => {
+                // TRIM only touches the FTL metadata: firmware cost only.
+                let core = (cmd.id % self.ssd.cpus.len() as u64) as usize;
+                if let Some(ftl) = self.ftl.as_mut() {
+                    let lpn = cmd.offset / page_bytes as u64;
+                    let _ = ftl.trim(lpn);
+                }
+                let fw = self.ssd.cpus[core].execute_command_overhead(admit);
+                fw.end
+            }
+        };
+
+        (admit, completion)
+    }
+}
+
+impl std::fmt::Debug for SimSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession")
+            .field("label", &self.label)
+            .field("completed", &self.completed())
+            .field("remaining", &self.remaining())
+            .field("now", &self.last_completion)
+            .field("probes", &self.probes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use ssdx_hostif::{AccessPattern, Workload};
+
+    fn platform() -> Ssd {
+        Ssd::try_new(
+            SsdConfig::builder("session-test")
+                .topology(4, 2, 2)
+                .dram_buffers(4)
+                .dram_buffer_capacity(256 * 1024)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn workload(count: u64) -> Workload {
+        Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(count)
+            .footprint_bytes(16 << 20)
+            .build()
+    }
+
+    #[test]
+    fn stepping_to_completion_matches_one_shot_finish() {
+        let w = workload(192);
+        let one_shot = platform().simulate(&w);
+
+        let mut ssd = platform();
+        let mut session = ssd.session(&w);
+        let mut steps = 0;
+        while session.step().is_some() {
+            steps += 1;
+        }
+        let stepped = session.finish();
+        assert_eq!(steps, 192);
+        assert_eq!(format!("{one_shot:?}"), format!("{stepped:?}"));
+    }
+
+    #[test]
+    fn run_until_stops_at_the_deadline() {
+        let w = workload(256);
+        let mut ssd = platform();
+        let mut session = ssd.session(&w);
+        let horizon = SimTime::from_us(300);
+        let executed = session.run_until(horizon);
+        assert!(executed > 0, "some commands complete within 300 us");
+        assert!(!session.is_done(), "256 commands take longer than 300 us");
+        assert!(session.now() >= horizon, "the crossing command still runs");
+        assert_eq!(session.completed() + session.remaining(), 256);
+        // Finishing afterwards is still byte-identical to the one-shot run.
+        let report = session.finish();
+        assert_eq!(format!("{report:?}"), format!("{:?}", platform().simulate(&w)));
+    }
+
+    #[test]
+    fn snapshot_tracks_progress_and_utilization() {
+        let w = workload(128);
+        let mut ssd = platform();
+        let mut session = ssd.session(&w);
+        let before = session.snapshot();
+        assert_eq!(before.commands_completed, 0);
+        assert_eq!(before.commands_remaining, 128);
+        assert_eq!(before.at, SimTime::ZERO);
+
+        session.run_until(SimTime::from_us(500));
+        let during = session.snapshot();
+        assert!(during.commands_completed > 0);
+        assert!(during.at > SimTime::ZERO);
+        assert!(during.outstanding > 0);
+        assert!(during.utilization.die > 0.0, "dies are busy mid-run");
+        assert!(during.mean_latency > SimTime::ZERO);
+    }
+
+    #[test]
+    fn probes_observe_every_command_and_periodic_snapshots() {
+        let w = workload(96);
+        let mut ssd = platform();
+        let mut log = CompletionLog::new();
+        let mut session = ssd.session(&w);
+        session.attach(&mut log);
+        session.sample_every(32);
+        let report = session.finish();
+
+        assert_eq!(log.records().len(), 96);
+        assert!(log.is_finished());
+        assert_eq!(log.snapshots().len(), 3, "one snapshot every 32 commands");
+        for (i, r) in log.records().iter().enumerate() {
+            assert_eq!(r.index, i as u64, "records arrive in stream order");
+            assert!(r.completed_at >= r.admitted_at);
+            assert_eq!(r.latency(), r.completed_at.saturating_sub(r.admitted_at));
+        }
+        assert_eq!(report.commands, 96);
+    }
+
+    #[test]
+    fn sample_every_zero_disables_snapshots() {
+        let w = workload(64);
+        let mut ssd = platform();
+        let mut log = CompletionLog::new();
+        let mut session = ssd.session(&w);
+        session.attach(&mut log);
+        session.sample_every(16);
+        session.sample_every(0);
+        let _ = session.finish();
+        assert!(log.snapshots().is_empty());
+        assert_eq!(log.records().len(), 64);
+    }
+
+    #[test]
+    fn session_debug_names_the_source() {
+        let w = workload(8);
+        let mut ssd = platform();
+        let session = ssd.session(&w);
+        let text = format!("{session:?}");
+        assert!(text.contains("SW"));
+        assert!(text.contains("remaining"));
+    }
+}

@@ -38,7 +38,7 @@ pub struct SpeedPoint {
 pub fn measure_kcps(config: &SsdConfig, workload: &Workload) -> SpeedPoint {
     let mut ssd = Ssd::new(config.clone());
     let start = Instant::now();
-    let report = ssd.run(workload);
+    let report = ssd.simulate(workload);
     let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
     let clock = Frequency::from_mhz(200);
     let simulated_cycles = clock.time_to_cycles(report.elapsed);

@@ -3,9 +3,11 @@
 //! [`Ssd`] instantiates the host interface, the DRAM data buffers, the
 //! controller CPU and AMBA AHB interconnect, one channel/way controller per
 //! NAND channel (each owning its dies), the per-channel ECC engines, the
-//! optional compressor and the WAF-based FTL abstraction, then pushes host
-//! commands through the resulting pipeline and reports the per-component
-//! performance breakdown.
+//! optional compressor and the WAF-based FTL abstraction. Command streams
+//! are pushed through the resulting pipeline by a
+//! [`SimSession`]: [`Ssd::simulate`] runs any
+//! [`CommandSource`] to completion in one call, [`Ssd::session`] returns
+//! the steppable session for mid-run observation.
 //!
 //! The pipeline mirrors the architecture template of the paper's Fig. 1:
 //!
@@ -20,21 +22,23 @@
 //! the write cache, a write completes when its data reaches the DRAM
 //! buffers; without it, only when the last NAND program finishes.
 
-use crate::config::{CachePolicy, FtlMode, SsdConfig};
+use crate::config::{ConfigError, SsdConfig};
 use crate::layout::{PageAllocator, PageTarget};
 use crate::report::{PerfReport, UtilizationBreakdown};
+use crate::session::SimSession;
 use ssdx_channel::{ChannelConfig, ChannelController};
-use ssdx_compress::CompressorPlacement;
 use ssdx_cpu::CpuModel;
 use ssdx_dram::{AccessKind, DramBuffer};
-use ssdx_ftl::{PageMappedFtl, WorkloadMix};
-use ssdx_hostif::{HostCommand, HostInterface, HostOp, TracePlayer, Workload};
+use ssdx_ftl::WorkloadMix;
+use ssdx_hostif::{
+    CommandSource, CommandStream, HostCommand, HostInterface, HostOp, TracePlayer, Workload,
+};
 use ssdx_interconnect::{AhbBus, AhbConfig};
 use ssdx_nand::{NandOp, OnfiBus};
 use ssdx_sim::stats::LatencyHistogram;
 use ssdx_sim::{Resource, SimTime};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The assembled SSD virtual platform.
 ///
@@ -44,37 +48,40 @@ use std::cmp::Reverse;
 /// use ssdx_core::{Ssd, SsdConfig};
 /// use ssdx_hostif::{AccessPattern, Workload};
 ///
-/// let mut ssd = Ssd::new(SsdConfig::default());
+/// let mut ssd = Ssd::try_new(SsdConfig::default())?;
 /// let workload = Workload::builder(AccessPattern::SequentialWrite)
 ///     .command_count(256)
 ///     .build();
-/// let report = ssd.run(&workload);
+/// let report = ssd.simulate(&workload);
 /// assert!(report.throughput_mbps > 0.0);
+/// # Ok::<(), ssdx_core::ConfigError>(())
 /// ```
 pub struct Ssd {
-    config: SsdConfig,
-    iface: Box<dyn HostInterface>,
-    host_link: Resource,
-    dram: Vec<DramBuffer>,
-    cpus: Vec<CpuModel>,
-    ahb: AhbBus,
-    channels: Vec<ChannelController>,
-    ecc_encoders: Vec<Resource>,
-    ecc_decoders: Vec<Resource>,
-    allocator: PageAllocator,
-    aged_pe: u64,
+    pub(crate) config: SsdConfig,
+    pub(crate) iface: Box<dyn HostInterface>,
+    pub(crate) host_link: Resource,
+    pub(crate) dram: Vec<DramBuffer>,
+    pub(crate) cpus: Vec<CpuModel>,
+    pub(crate) ahb: AhbBus,
+    pub(crate) channels: Vec<ChannelController>,
+    pub(crate) ecc_encoders: Vec<Resource>,
+    pub(crate) ecc_decoders: Vec<Resource>,
+    pub(crate) allocator: PageAllocator,
+    pub(crate) aged_pe: u64,
 }
 
 impl Ssd {
-    /// Builds the platform described by `config`.
+    /// Builds the platform described by `config`, validating it first.
     ///
-    /// # Panics
+    /// This is the panic-free construction path: configurations from
+    /// untrusted sources (text files, sweep mutators) surface their
+    /// problems as [`ConfigError`] instead of aborting.
     ///
-    /// Panics if the configuration does not validate; use
-    /// [`SsdConfig::validate`] first when the configuration comes from an
-    /// untrusted source.
-    pub fn new(config: SsdConfig) -> Self {
-        config.validate().expect("invalid SSD configuration");
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] produced by [`SsdConfig::validate`].
+    pub fn try_new(config: SsdConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let iface = config.host_interface.build();
         let dram = (0..config.dram_buffers)
             .map(|i| DramBuffer::new(i, config.dram_timings))
@@ -95,7 +102,7 @@ impl Ssd {
         let cpus = (0..config.cpu_cores)
             .map(|_| CpuModel::new(config.firmware))
             .collect();
-        Ssd {
+        Ok(Ssd {
             iface,
             host_link: Resource::new("host-link"),
             dram,
@@ -107,7 +114,19 @@ impl Ssd {
             allocator,
             aged_pe: 0,
             config,
-        }
+        })
+    }
+
+    /// Builds the platform described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate. Prefer
+    /// [`Ssd::try_new`] when the configuration comes from an untrusted
+    /// source; `new` is a convenience for configurations that are known
+    /// valid by construction (e.g. the built-in tables).
+    pub fn new(config: SsdConfig) -> Self {
+        Ssd::try_new(config).expect("invalid SSD configuration")
     }
 
     /// The configuration the platform was built from.
@@ -166,331 +185,67 @@ impl Ssd {
         self.allocator.reset();
     }
 
-    /// Runs a synthetic workload through the full pipeline and reports the
-    /// host-visible performance.
+    /// Opens a steppable [`SimSession`] over any [`CommandSource`]
+    /// (synthetic [`Workload`]s, [`TracePlayer`] traces, explicit
+    /// [`CommandStream`]s, closure generators, or user types).
+    ///
+    /// The session resets the platform's dynamic activity, materialises the
+    /// source's command stream and derives the FTL workload mix from
+    /// [`CommandSource::random_write_fraction`]. Drive it with
+    /// [`step`](SimSession::step) / [`run_until`](SimSession::run_until)
+    /// and close it with [`finish`](SimSession::finish).
+    pub fn session<'a, S: CommandSource + ?Sized>(&'a mut self, source: &'a S) -> SimSession<'a> {
+        let label = source.label();
+        // Sources that own their stream (traces, explicit lists) are
+        // borrowed. Generators materialise here — and a second time if
+        // their `random_write_fraction` falls back to the default
+        // estimator; generators that know their mix can pin it instead.
+        let mix = WorkloadMix::mixed(source.random_write_fraction());
+        let commands = source.commands();
+        SimSession::new(self, label, commands, mix)
+    }
+
+    /// Runs any [`CommandSource`] through the full pipeline in one shot and
+    /// reports the host-visible performance. Equivalent to
+    /// `self.session(source).finish()`.
+    pub fn simulate<S: CommandSource + ?Sized>(&mut self, source: &S) -> PerfReport {
+        self.session(source).finish()
+    }
+
+    /// Runs a synthetic workload through the full pipeline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `simulate` — `Workload` implements `CommandSource`"
+    )]
     pub fn run(&mut self, workload: &Workload) -> PerfReport {
-        let mix = if workload.pattern.is_random() {
-            WorkloadMix::random()
-        } else {
-            WorkloadMix::sequential()
-        };
-        let commands = workload.commands();
-        self.run_commands(workload.pattern.label(), &commands, mix)
+        self.simulate(workload)
     }
 
-    /// Replays a parsed trace through the full pipeline. The workload mix for
-    /// the WAF abstraction is estimated from the fraction of write commands
-    /// whose offset is not contiguous with the previous write.
+    /// Replays a parsed trace through the full pipeline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `simulate` — `TracePlayer` implements `CommandSource`"
+    )]
     pub fn run_trace(&mut self, trace: &TracePlayer) -> PerfReport {
-        let commands = trace.commands();
-        let mix = WorkloadMix::mixed(Self::estimate_random_fraction(commands));
-        self.run_commands("trace", commands, mix)
+        self.simulate(trace)
     }
 
-    fn estimate_random_fraction(commands: &[HostCommand]) -> f64 {
-        let mut writes = 0u64;
-        let mut non_contiguous = 0u64;
-        let mut expected_next: Option<u64> = None;
-        for c in commands.iter().filter(|c| c.op == HostOp::Write) {
-            if let Some(next) = expected_next {
-                if c.offset != next {
-                    non_contiguous += 1;
-                }
-            }
-            expected_next = Some(c.offset + c.bytes as u64);
-            writes += 1;
-        }
-        if writes == 0 {
-            0.0
-        } else {
-            non_contiguous as f64 / writes as f64
-        }
-    }
-
-    /// Runs an explicit command stream through the full pipeline.
+    /// Runs an explicit command stream through the full pipeline with a
+    /// pinned workload mix.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `simulate` with a `CommandStream` (optionally pinning the mix \
+                via `with_random_write_fraction`)"
+    )]
     pub fn run_commands(
         &mut self,
         workload_label: &str,
         commands: &[HostCommand],
         mix: WorkloadMix,
     ) -> PerfReport {
-        self.reset_activity();
-
-        let queue_depth = self.config.queue_depth() as usize;
-        let page_bytes = self.config.nand.geometry.page_size_bytes;
-        let raw_page_bytes = self.config.nand.geometry.raw_page_bytes();
-        let waf = self.config.waf.waf(mix);
-        let buffer_capacity =
-            self.config.dram_buffers as u64 * self.config.dram_buffer_capacity;
-        let compressor = self.config.compressor.build();
-
-        // In page-mapped mode an actual FTL is instantiated, sized to cover
-        // the logical footprint the command stream touches (plus the
-        // configured over-provisioning), and its garbage collection issues
-        // real NAND operations that compete with host traffic.
-        let mut ftl: Option<PageMappedFtl> = if self.config.ftl_mode == FtlMode::PageMapped {
-            let max_end = commands
-                .iter()
-                .map(|c| c.offset + c.bytes as u64)
-                .max()
-                .unwrap_or(page_bytes as u64);
-            let logical_pages = max_end.div_ceil(page_bytes as u64).max(1);
-            let pages_per_block = self.config.nand.geometry.pages_per_block as u64;
-            let blocks = ((logical_pages as f64 * (1.0 + self.config.waf.over_provisioning)
-                / pages_per_block as f64)
-                .ceil() as u32)
-                .max(8)
-                + 8;
-            Some(PageMappedFtl::new(
-                blocks,
-                self.config.nand.geometry.pages_per_block,
-                self.config.waf.over_provisioning,
-            ))
-        } else {
-            None
-        };
-
-        // Outstanding command completions bounded by the protocol queue depth.
-        let mut window: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
-        // Un-flushed write data held in the DRAM buffers (cache policy
-        // back-pressure): (flush completion time, bytes).
-        let mut in_flight: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
-        let mut in_flight_bytes: u64 = 0;
-
-        let mut waf_carry = 0.0f64;
-        let mut latency = LatencyHistogram::new();
-        let mut total_bytes = 0u64;
-        let mut last_completion = SimTime::ZERO;
-
-        for cmd in commands {
-            // --- Admission: protocol queue window ------------------------
-            let mut admit = cmd.issue_at;
-            if window.len() >= queue_depth {
-                if let Some(Reverse(earliest)) = window.pop() {
-                    admit = admit.max(earliest);
-                }
-            }
-
-            let completion = match cmd.op {
-                HostOp::Write => {
-                    // --- DRAM-buffer back-pressure -----------------------
-                    while in_flight_bytes + cmd.bytes as u64 > buffer_capacity {
-                        match in_flight.pop() {
-                            Some(Reverse((flushed_at, bytes))) => {
-                                admit = admit.max(flushed_at);
-                                in_flight_bytes -= bytes;
-                            }
-                            None => break,
-                        }
-                    }
-
-                    // --- Host link + DMA into the DRAM buffer ------------
-                    let host_payload = match compressor {
-                        Some(c) if c.placement == CompressorPlacement::HostSide => {
-                            c.output_bytes(cmd.bytes)
-                        }
-                        _ => cmd.bytes,
-                    };
-                    let link = self
-                        .host_link
-                        .reserve(admit, self.iface.transfer_time(cmd.bytes));
-                    let host_side_comp_done = match compressor {
-                        Some(c) if c.placement == CompressorPlacement::HostSide => {
-                            link.end + c.compress_time(cmd.bytes)
-                        }
-                        _ => link.end,
-                    };
-                    let buf = (cmd.id % self.dram.len() as u64) as usize;
-                    let dram_done = self.dram[buf]
-                        .access(host_side_comp_done, cmd.offset, host_payload, AccessKind::Write)
-                        .end;
-
-                    // --- Firmware + descriptor traffic on the AHB ---------
-                    let core = (cmd.id % self.cpus.len() as u64) as usize;
-                    let fw = self.cpus[core].execute_command_overhead(admit.max(link.start));
-                    let desc_bytes = 4 * self.cpus[core].bus_accesses_per_task() * 4;
-                    let ahb_done = self.ahb.transfer(fw.start, core as u32, 0, desc_bytes).end;
-                    let ready = dram_done.max(fw.end).max(ahb_done);
-
-                    // --- Optional channel-side compression ----------------
-                    let (nand_payload, comp_done) = match compressor {
-                        Some(c) if c.placement == CompressorPlacement::ChannelSide => {
-                            (c.output_bytes(host_payload), ready + c.compress_time(host_payload))
-                        }
-                        _ => (host_payload, ready),
-                    };
-
-                    // --- Translate into physical NAND programs ------------
-                    let mut last_nand = comp_done;
-                    if let Some(f) = ftl.as_mut() {
-                        // Actual FTL: map every logical page, and charge the
-                        // relocations and erases its garbage collector
-                        // performs as real NAND operations.
-                        let logical_pages = cmd.bytes.div_ceil(page_bytes).max(1);
-                        for i in 0..logical_pages {
-                            let lpn = cmd.offset / page_bytes as u64 + i as u64;
-                            let (location, relocations, erases) = {
-                                let before = f.stats();
-                                let location = f.write(lpn).ok();
-                                let after = f.stats();
-                                (
-                                    location,
-                                    after.gc_relocations - before.gc_relocations,
-                                    after.erases - before.erases,
-                                )
-                            };
-                            let target = match location {
-                                Some((blk, page)) => self.target_for_block(blk, page),
-                                None => self.allocator.next_write(),
-                            };
-                            let done = self.program_page_at(comp_done, buf, cmd.offset, target);
-                            last_nand = last_nand.max(done);
-                            for r in 0..relocations {
-                                // A relocation is a page read plus a page
-                                // program somewhere else in the array.
-                                let src = self.allocator.locate(lpn.wrapping_add(r + 1));
-                                let out = self.channels[src.channel as usize].execute(
-                                    comp_done,
-                                    src.way,
-                                    src.die,
-                                    NandOp::Read,
-                                    src.addr,
-                                    raw_page_bytes,
-                                );
-                                let dst = self.allocator.next_write();
-                                let done = self.program_page_at(out.complete_at, buf, cmd.offset, dst);
-                                last_nand = last_nand.max(done);
-                            }
-                            for e in 0..erases {
-                                let victim = self.allocator.locate(lpn.wrapping_add(e) ^ 0x5A5A);
-                                let done = self.erase_block_at(comp_done, victim);
-                                last_nand = last_nand.max(done);
-                            }
-                        }
-                    } else {
-                        // WAF abstraction: inflate the physical page count
-                        // analytically and stripe the programs across the
-                        // array.
-                        let host_pages = nand_payload.div_ceil(page_bytes).max(1);
-                        waf_carry += host_pages as f64 * (waf - 1.0);
-                        let mut phys_pages = host_pages;
-                        while waf_carry >= 1.0 {
-                            phys_pages += 1;
-                            waf_carry -= 1.0;
-                        }
-                        for _ in 0..phys_pages {
-                            let target = self.allocator.next_write();
-                            let done = self.program_page_at(comp_done, buf, cmd.offset, target);
-                            last_nand = last_nand.max(done);
-                        }
-                    }
-
-                    // --- Completion per DRAM-buffer policy -----------------
-                    in_flight.push(Reverse((last_nand, cmd.bytes as u64)));
-                    in_flight_bytes += cmd.bytes as u64;
-                    match self.config.cache_policy {
-                        CachePolicy::WriteCache => dram_done.max(fw.end),
-                        CachePolicy::NoCache => last_nand.max(fw.end),
-                    }
-                }
-                HostOp::Read => {
-                    // --- Firmware + descriptor traffic ---------------------
-                    let core = (cmd.id % self.cpus.len() as u64) as usize;
-                    let fw = self.cpus[core].execute_command_overhead(admit);
-                    let desc_bytes = 4 * self.cpus[core].bus_accesses_per_task() * 4;
-                    let ahb_done = self.ahb.transfer(fw.start, core as u32, 0, desc_bytes).end;
-                    let ready = fw.end.max(ahb_done);
-
-                    // --- Read every page from the array --------------------
-                    let pages = cmd.bytes.div_ceil(page_bytes).max(1);
-                    let first_lpn = cmd.offset / page_bytes as u64;
-                    let buf = (cmd.id % self.dram.len() as u64) as usize;
-                    let mut last_page = ready;
-                    for p in 0..pages {
-                        let lpn = first_lpn + p as u64;
-                        let PageTarget { channel, way, die, addr } = match ftl
-                            .as_ref()
-                            .and_then(|f| f.lookup(lpn))
-                        {
-                            Some((blk, page)) => self.target_for_block(blk, page),
-                            None => self.allocator.locate(lpn),
-                        };
-                        let out = self.channels[channel as usize].execute(
-                            ready,
-                            way,
-                            die,
-                            NandOp::Read,
-                            addr,
-                            raw_page_bytes,
-                        );
-                        let pe = self.channels[channel as usize]
-                            .die(way, die)
-                            .expect("allocator targets are in range")
-                            .block_pe_cycles(addr);
-                        let dec_latency = self.config.ecc.decode_latency_for(
-                            page_bytes,
-                            pe,
-                            out.expected_raw_errors,
-                        );
-                        let dec =
-                            self.ecc_decoders[channel as usize].reserve(out.complete_at, dec_latency);
-                        let decomp_done = match compressor {
-                            Some(c) if c.placement == CompressorPlacement::ChannelSide => {
-                                dec.end + c.decompress_time(page_bytes)
-                            }
-                            _ => dec.end,
-                        };
-                        let dram_done = self.dram[buf]
-                            .access(decomp_done, cmd.offset, page_bytes, AccessKind::Write)
-                            .end;
-                        last_page = last_page.max(dram_done);
-                    }
-
-                    // --- Return the data to the host -----------------------
-                    let host_side_decomp = match compressor {
-                        Some(c) if c.placement == CompressorPlacement::HostSide => {
-                            last_page + c.decompress_time(cmd.bytes)
-                        }
-                        _ => last_page,
-                    };
-                    let link = self
-                        .host_link
-                        .reserve(host_side_decomp, self.iface.transfer_time(cmd.bytes));
-                    link.end
-                }
-                HostOp::Trim => {
-                    // TRIM only touches the FTL metadata: firmware cost only.
-                    let core = (cmd.id % self.cpus.len() as u64) as usize;
-                    if let Some(ftl) = ftl.as_mut() {
-                        let lpn = cmd.offset / page_bytes as u64;
-                        let _ = ftl.trim(lpn);
-                    }
-                    let fw = self.cpus[core].execute_command_overhead(admit);
-                    fw.end
-                }
-            };
-
-            window.push(Reverse(completion));
-            latency.record(completion.saturating_sub(admit));
-            if cmd.op != HostOp::Trim {
-                total_bytes += cmd.bytes as u64;
-            }
-            last_completion = last_completion.max(completion);
-        }
-
-        let elapsed = last_completion;
-        let reported_waf = match &ftl {
-            Some(f) => f.stats().waf(),
-            None => waf,
-        };
-        self.build_report(
-            workload_label,
-            commands.len() as u64,
-            total_bytes,
-            elapsed,
-            reported_waf,
-            latency,
-        )
+        let stream = CommandStream::new(workload_label, commands.to_vec())
+            .with_random_write_fraction(mix.random_fraction);
+        self.simulate(&stream)
     }
 
     /// Maps one page of a linear FTL block onto a concrete
@@ -499,7 +254,7 @@ impl Ssd {
     /// block stripe across channels, ways and dies (channel first), exactly
     /// like the WAF-mode write allocator, so the page-mapped mode enjoys the
     /// same internal parallelism a real controller would extract.
-    fn target_for_block(&self, block_index: u32, page: u32) -> PageTarget {
+    pub(crate) fn target_for_block(&self, block_index: u32, page: u32) -> PageTarget {
         let total_dies = self.config.total_dies() as u64;
         let geometry = &self.config.nand.geometry;
         let global_page =
@@ -527,7 +282,13 @@ impl Ssd {
     /// Issues one physical page program (ECC encode, DRAM flush, channel
     /// transfer, NAND program) starting no earlier than `at`, returning the
     /// instant the array operation completes.
-    fn program_page_at(&mut self, at: SimTime, buf: usize, offset: u64, target: PageTarget) -> SimTime {
+    pub(crate) fn program_page_at(
+        &mut self,
+        at: SimTime,
+        buf: usize,
+        offset: u64,
+        target: PageTarget,
+    ) -> SimTime {
         let page_bytes = self.config.nand.geometry.page_size_bytes;
         let raw_page_bytes = self.config.nand.geometry.raw_page_bytes();
         let PageTarget { channel, way, die, addr } = target;
@@ -547,7 +308,7 @@ impl Ssd {
 
     /// Issues one block erase starting no earlier than `at`, returning the
     /// instant the array operation completes.
-    fn erase_block_at(&mut self, at: SimTime, target: PageTarget) -> SimTime {
+    pub(crate) fn erase_block_at(&mut self, at: SimTime, target: PageTarget) -> SimTime {
         let PageTarget { channel, way, die, mut addr } = target;
         addr.page = 0;
         self.channels[channel as usize]
@@ -555,29 +316,11 @@ impl Ssd {
             .complete_at
     }
 
-    fn build_report(
-        &self,
-        workload_label: &str,
-        commands: u64,
-        total_bytes: u64,
-        elapsed: SimTime,
-        waf: f64,
-        latency: LatencyHistogram,
-    ) -> PerfReport {
-        let throughput_mbps = if elapsed.is_zero() {
-            0.0
-        } else {
-            total_bytes as f64 / 1e6 / elapsed.as_secs_f64()
-        };
-        let iops = if elapsed.is_zero() {
-            0.0
-        } else {
-            commands as f64 / elapsed.as_secs_f64()
-        };
-
-        // Utilizations are computed over the full activity horizon: with the
-        // write cache, NAND programs keep running after the last host-visible
-        // completion, and those cycles must still count as busy time.
+    /// The full activity horizon at the given host-visible `elapsed` time:
+    /// with the write cache, NAND programs keep running after the last
+    /// host-visible completion, and those cycles must still count as busy
+    /// time in the utilization figures.
+    pub(crate) fn activity_horizon(&self, elapsed: SimTime) -> SimTime {
         let mut horizon = elapsed;
         for ch in &self.channels {
             for way in 0..self.config.ways {
@@ -588,15 +331,15 @@ impl Ssd {
                 }
             }
         }
-        let mut programs = 0;
-        let mut reads = 0;
+        horizon
+    }
+
+    /// Per-component utilization over the given horizon.
+    pub(crate) fn utilization_snapshot(&self, horizon: SimTime) -> UtilizationBreakdown {
         let mut channel_util = 0.0;
         let mut die_util = 0.0;
         let mut die_count = 0u32;
         for ch in &self.channels {
-            let s = ch.stats();
-            programs += s.programs;
-            reads += s.reads;
             channel_util += ch.bus_utilization(horizon);
             for way in 0..self.config.ways {
                 for die in 0..self.config.dies_per_way {
@@ -619,6 +362,45 @@ impl Ssd {
             })
             .sum::<f64>()
             / self.dram.len() as f64;
+        UtilizationBreakdown {
+            host_link: self.host_link.utilization(horizon),
+            dram: dram_util,
+            cpu: self.cpus.iter().map(|c| c.utilization(horizon)).sum::<f64>()
+                / self.cpus.len() as f64,
+            ahb: self.ahb.utilization(horizon),
+            channel_bus: channel_util / self.channels.len() as f64,
+            die: if die_count == 0 { 0.0 } else { die_util / die_count as f64 },
+        }
+    }
+
+    pub(crate) fn build_report(
+        &self,
+        workload_label: &str,
+        commands: u64,
+        total_bytes: u64,
+        elapsed: SimTime,
+        waf: f64,
+        latency: LatencyHistogram,
+    ) -> PerfReport {
+        let throughput_mbps = if elapsed.is_zero() {
+            0.0
+        } else {
+            total_bytes as f64 / 1e6 / elapsed.as_secs_f64()
+        };
+        let iops = if elapsed.is_zero() {
+            0.0
+        } else {
+            commands as f64 / elapsed.as_secs_f64()
+        };
+
+        let horizon = self.activity_horizon(elapsed);
+        let mut programs = 0;
+        let mut reads = 0;
+        for ch in &self.channels {
+            let s = ch.stats();
+            programs += s.programs;
+            reads += s.reads;
+        }
 
         PerfReport {
             config_name: self.config.name.clone(),
@@ -634,15 +416,7 @@ impl Ssd {
             nand_page_programs: programs,
             nand_page_reads: reads,
             latency,
-            utilization: UtilizationBreakdown {
-                host_link: self.host_link.utilization(horizon),
-                dram: dram_util,
-                cpu: self.cpus.iter().map(|c| c.utilization(horizon)).sum::<f64>()
-                    / self.cpus.len() as f64,
-                ahb: self.ahb.utilization(horizon),
-                channel_bus: channel_util / self.channels.len() as f64,
-                die: if die_count == 0 { 0.0 } else { die_util / die_count as f64 },
-            },
+            utilization: self.utilization_snapshot(horizon),
         }
     }
 
@@ -808,9 +582,28 @@ mod tests {
     }
 
     #[test]
+    fn try_new_rejects_invalid_configurations() {
+        let mut cfg = small_config("bad").build().unwrap();
+        cfg.channels = 0;
+        assert_eq!(
+            Ssd::try_new(cfg).err(),
+            Some(ConfigError::ZeroDimension("channels"))
+        );
+        assert!(Ssd::try_new(small_config("good").build().unwrap()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SSD configuration")]
+    fn new_panics_on_invalid_configurations() {
+        let mut cfg = small_config("bad").build().unwrap();
+        cfg.dram_buffers = 0;
+        let _ = Ssd::new(cfg);
+    }
+
+    #[test]
     fn sequential_write_produces_sensible_throughput() {
         let mut ssd = Ssd::new(small_config("t").build().unwrap());
-        let report = ssd.run(&small_workload(AccessPattern::SequentialWrite, 512));
+        let report = ssd.simulate(&small_workload(AccessPattern::SequentialWrite, 512));
         assert!(report.throughput_mbps > 1.0, "{}", report.throughput_mbps);
         assert!(report.throughput_mbps < ssd.interface_ideal_mbps());
         assert_eq!(report.commands, 512);
@@ -823,8 +616,8 @@ mod tests {
         let cache = small_config("cache").cache_policy(CachePolicy::WriteCache).build().unwrap();
         let nocache = small_config("nocache").cache_policy(CachePolicy::NoCache).build().unwrap();
         let w = small_workload(AccessPattern::SequentialWrite, 512);
-        let r_cache = Ssd::new(cache).run(&w);
-        let r_nocache = Ssd::new(nocache).run(&w);
+        let r_cache = Ssd::new(cache).simulate(&w);
+        let r_nocache = Ssd::new(nocache).simulate(&w);
         assert!(
             r_cache.mean_latency() < r_nocache.mean_latency(),
             "cache {} vs no-cache {}",
@@ -836,8 +629,8 @@ mod tests {
     #[test]
     fn random_writes_are_slower_than_sequential_writes() {
         let cfg = small_config("waf").build().unwrap();
-        let seq = Ssd::new(cfg.clone()).run(&small_workload(AccessPattern::SequentialWrite, 512));
-        let rnd = Ssd::new(cfg).run(&small_workload(AccessPattern::RandomWrite, 512));
+        let seq = Ssd::new(cfg.clone()).simulate(&small_workload(AccessPattern::SequentialWrite, 512));
+        let rnd = Ssd::new(cfg).simulate(&small_workload(AccessPattern::RandomWrite, 512));
         assert!(rnd.throughput_mbps < seq.throughput_mbps);
         assert!(rnd.waf > seq.waf);
         assert!(rnd.nand_page_programs > seq.nand_page_programs);
@@ -846,7 +639,7 @@ mod tests {
     #[test]
     fn reads_do_not_amplify() {
         let cfg = small_config("reads").build().unwrap();
-        let report = Ssd::new(cfg).run(&small_workload(AccessPattern::SequentialRead, 256));
+        let report = Ssd::new(cfg).simulate(&small_workload(AccessPattern::SequentialRead, 256));
         assert_eq!(report.nand_page_programs, 0);
         assert!(report.nand_page_reads >= 512);
         assert!(report.throughput_mbps > 1.0);
@@ -862,8 +655,8 @@ mod tests {
             .build()
             .unwrap();
         let w = small_workload(AccessPattern::SequentialWrite, 1024);
-        let r_small = Ssd::new(small).run(&w);
-        let r_big = Ssd::new(big).run(&w);
+        let r_small = Ssd::new(small).simulate(&w);
+        let r_big = Ssd::new(big).simulate(&w);
         assert!(
             r_big.throughput_mbps > 1.5 * r_small.throughput_mbps,
             "big {} vs small {}",
@@ -891,8 +684,8 @@ mod tests {
             .host_interface(HostInterfaceConfig::nvme_gen2_x8())
             .build()
             .unwrap();
-        let r_sata = Ssd::new(sata).run(&w);
-        let r_nvme = Ssd::new(nvme).run(&w);
+        let r_sata = Ssd::new(sata).simulate(&w);
+        let r_nvme = Ssd::new(nvme).simulate(&w);
         assert!(
             r_nvme.throughput_mbps > 1.5 * r_sata.throughput_mbps,
             "nvme {} vs sata {}",
@@ -908,15 +701,15 @@ mod tests {
         let mut adaptive =
             Ssd::new(small_config("adaptive").ecc(EccScheme::adaptive_bch(40)).build().unwrap());
         // Early in life the adaptive code reads faster.
-        let r_fixed_fresh = fixed.run(&w);
-        let r_adaptive_fresh = adaptive.run(&w);
+        let r_fixed_fresh = fixed.simulate(&w);
+        let r_adaptive_fresh = adaptive.simulate(&w);
         assert!(r_adaptive_fresh.throughput_mbps > r_fixed_fresh.throughput_mbps);
         // At end of life they converge (same 40-bit correction).
         fixed.age_to_normalized(1.0);
         adaptive.age_to_normalized(1.0);
         assert_eq!(fixed.aged_pe_cycles(), 3_000);
-        let r_fixed_eol = fixed.run(&w);
-        let r_adaptive_eol = adaptive.run(&w);
+        let r_fixed_eol = fixed.simulate(&w);
+        let r_adaptive_eol = adaptive.simulate(&w);
         let ratio = r_adaptive_eol.throughput_mbps / r_fixed_eol.throughput_mbps;
         assert!((0.9..1.1).contains(&ratio), "ratio = {ratio}");
     }
@@ -925,8 +718,8 @@ mod tests {
     fn determinism_same_config_same_result() {
         let cfg = small_config("det").build().unwrap();
         let w = small_workload(AccessPattern::RandomWrite, 256);
-        let a = Ssd::new(cfg.clone()).run(&w);
-        let b = Ssd::new(cfg).run(&w);
+        let a = Ssd::new(cfg.clone()).simulate(&w);
+        let b = Ssd::new(cfg).simulate(&w);
         assert_eq!(a.elapsed, b.elapsed);
         assert!((a.throughput_mbps - b.throughput_mbps).abs() < 1e-9);
     }
@@ -946,7 +739,7 @@ mod tests {
         let ideal = ssd.interface_ideal_mbps();
         let host_dram = ssd.host_dram_only_mbps(&w);
         let flash = ssd.flash_path_mbps(&w);
-        let full = ssd.run(&w).throughput_mbps;
+        let full = ssd.simulate(&w).throughput_mbps;
         assert!(host_dram <= ideal * 1.01, "host+dram {host_dram} vs ideal {ideal}");
         // The full SSD can never beat its own back end or its own front end.
         assert!(full <= host_dram * 1.05);
@@ -957,10 +750,11 @@ mod tests {
     fn trace_replay_works() {
         let trace = TracePlayer::parse("0 write 0 4096\n10 read 0 4096\n20 trim 0 4096\n").unwrap();
         let mut ssd = Ssd::new(small_config("trace").build().unwrap());
-        let report = ssd.run_trace(&trace);
+        let report = ssd.simulate(&trace);
         assert_eq!(report.commands, 3);
         assert_eq!(report.bytes, 8192);
         assert!(report.elapsed > SimTime::ZERO);
+        assert_eq!(report.workload, "trace");
     }
 
     #[test]
@@ -971,8 +765,8 @@ mod tests {
             .compressor(crate::config::CompressorConfig::ChannelSide)
             .build()
             .unwrap();
-        let r_plain = Ssd::new(plain).run(&w);
-        let r_comp = Ssd::new(compressed).run(&w);
+        let r_plain = Ssd::new(plain).simulate(&w);
+        let r_comp = Ssd::new(compressed).simulate(&w);
         assert!(r_comp.nand_page_programs < r_plain.nand_page_programs);
     }
 
@@ -998,7 +792,7 @@ mod tests {
             .over_provisioning(0.25)
             .build()
             .unwrap();
-        let report = Ssd::new(cfg).run(&workload);
+        let report = Ssd::new(cfg).simulate(&workload);
         assert!(report.waf > 1.05, "measured WAF should exceed 1, got {}", report.waf);
         assert!(report.nand_page_programs as f64 >= 1.05 * 2.0 * 1_500.0);
         assert!(report.throughput_mbps > 0.0);
@@ -1008,11 +802,11 @@ mod tests {
     fn page_mapped_and_waf_modes_agree_on_sequential_writes() {
         use crate::config::FtlMode;
         let w = small_workload(AccessPattern::SequentialWrite, 512);
-        let waf_mode = Ssd::new(small_config("waf-mode").build().unwrap()).run(&w);
+        let waf_mode = Ssd::new(small_config("waf-mode").build().unwrap()).simulate(&w);
         let real_mode = Ssd::new(
             small_config("pm-mode").ftl_mode(FtlMode::PageMapped).build().unwrap(),
         )
-        .run(&w);
+        .simulate(&w);
         // Sequential traffic does not amplify in either accounting mode, so
         // the two pipelines should deliver comparable throughput.
         assert!((real_mode.waf - 1.0).abs() < 0.1, "sequential WAF {}", real_mode.waf);
@@ -1034,11 +828,11 @@ mod tests {
             bus_accesses_per_task: 8,
         };
         let w = small_workload(AccessPattern::SequentialWrite, 512);
-        let single = Ssd::new(small_config("one-core").firmware(heavy).build().unwrap()).run(&w);
+        let single = Ssd::new(small_config("one-core").firmware(heavy).build().unwrap()).simulate(&w);
         let dual = Ssd::new(
             small_config("two-cores").firmware(heavy).cpu_cores(2).build().unwrap(),
         )
-        .run(&w);
+        .simulate(&w);
         assert!(
             dual.throughput_mbps > 1.3 * single.throughput_mbps,
             "dual {} vs single {}",

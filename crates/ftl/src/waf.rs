@@ -99,8 +99,8 @@ impl WafModel {
     }
 
     /// Write amplification for an arbitrary workload mix: sequential traffic
-    /// does not amplify, random traffic amplifies per [`random_waf`]
-    /// (Self::random_waf), blends linearly in between.
+    /// does not amplify, random traffic amplifies per
+    /// [`random_waf`](Self::random_waf), blends linearly in between.
     pub fn waf(&self, mix: WorkloadMix) -> f64 {
         let r = mix.random_fraction.clamp(0.0, 1.0);
         1.0 + r * (self.random_waf() - 1.0)

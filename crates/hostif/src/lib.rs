@@ -28,6 +28,7 @@ pub mod command;
 pub mod interface;
 pub mod nvme;
 pub mod sata;
+pub mod source;
 pub mod trace;
 pub mod workload;
 
@@ -35,5 +36,8 @@ pub use command::{HostCommand, HostOp};
 pub use interface::{HostInterface, HostInterfaceKind};
 pub use nvme::{NvmeInterface, PcieGen};
 pub use sata::SataInterface;
+pub use source::{
+    estimate_random_write_fraction, source_fn, CommandSource, CommandStream, FnSource,
+};
 pub use trace::{ParseTraceError, TracePlayer};
 pub use workload::{AccessPattern, Workload, WorkloadBuilder};

@@ -1,0 +1,396 @@
+//! Pluggable command sources: the single entry point the platform consumes.
+//!
+//! Everything the simulated SSD executes — synthetic workloads, parsed
+//! traces, hand-built command lists, closure generators — implements one
+//! trait, [`CommandSource`]. The platform asks a source for three things:
+//! a label for reports, the materialised command stream, and an estimate of
+//! how random its write traffic is (which drives the WAF-based FTL
+//! abstraction). New drivers and sweep engines therefore compose with any
+//! source without knowing its concrete type.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdx_hostif::{source_fn, CommandSource, HostCommand, HostOp};
+//! use ssdx_sim::SimTime;
+//!
+//! // A closure-backed source: 64 interleaved 4 KB writes.
+//! let source = source_fn("interleaved", 64, |i| HostCommand {
+//!     id: i,
+//!     op: HostOp::Write,
+//!     offset: (i % 2) * (1 << 20) + (i / 2) * 4096,
+//!     bytes: 4096,
+//!     issue_at: SimTime::ZERO,
+//! });
+//! assert_eq!(source.commands().len(), 64);
+//! assert!(source.random_write_fraction() > 0.9, "alternating streams look random");
+//! ```
+
+use crate::command::{HostCommand, HostOp};
+use crate::trace::TracePlayer;
+use crate::workload::Workload;
+use std::borrow::Cow;
+
+/// Estimates how random a write stream is: the fraction of write→write
+/// transitions whose offset is not contiguous with the end of the previous
+/// write.
+///
+/// The first write of the stream only establishes the baseline — it is
+/// counted in neither the numerator nor the denominator, so the denominator
+/// is exactly `writes - 1` (the number of transitions). Streams with fewer
+/// than two writes have no transitions and report `0.0`. The result is in
+/// `[0, 1]` and feeds the WAF abstraction's workload mix.
+pub fn estimate_random_write_fraction(commands: &[HostCommand]) -> f64 {
+    let mut transitions = 0u64;
+    let mut non_contiguous = 0u64;
+    let mut expected_next: Option<u64> = None;
+    for c in commands.iter().filter(|c| c.op == HostOp::Write) {
+        if let Some(next) = expected_next {
+            transitions += 1;
+            if c.offset != next {
+                non_contiguous += 1;
+            }
+        }
+        expected_next = Some(c.offset + c.bytes as u64);
+    }
+    if transitions == 0 {
+        0.0
+    } else {
+        non_contiguous as f64 / transitions as f64
+    }
+}
+
+/// A source of host commands, the generic input of the simulation platform.
+///
+/// Implemented by [`Workload`] (synthetic generators), [`TracePlayer`]
+/// (trace replay), [`CommandStream`] (explicit command lists) and
+/// [`FnSource`] (closure generators); users can implement it for their own
+/// drivers. The trait is object safe, so heterogeneous collections of
+/// sources (`Vec<Box<dyn CommandSource>>`) work too.
+pub trait CommandSource {
+    /// Short label used in performance reports (e.g. "SW", "trace").
+    fn label(&self) -> String;
+
+    /// Materialises the command stream, in issue order.
+    ///
+    /// Sources that already own a command list return it borrowed;
+    /// generators build it on demand. Callers should materialise once per
+    /// run and reuse the result.
+    fn commands(&self) -> Cow<'_, [HostCommand]>;
+
+    /// Estimated randomness of the write traffic, `0.0` (sequential) to
+    /// `1.0` (uniform random), which drives the WAF-based FTL abstraction.
+    ///
+    /// The default estimates it from the materialised stream via
+    /// [`estimate_random_write_fraction`]; sources that know their own
+    /// statistics (like [`Workload`]) override it.
+    fn random_write_fraction(&self) -> f64 {
+        estimate_random_write_fraction(&self.commands())
+    }
+}
+
+impl<S: CommandSource + ?Sized> CommandSource for &S {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn commands(&self) -> Cow<'_, [HostCommand]> {
+        (**self).commands()
+    }
+
+    fn random_write_fraction(&self) -> f64 {
+        (**self).random_write_fraction()
+    }
+}
+
+impl CommandSource for Workload {
+    fn label(&self) -> String {
+        self.pattern.label().to_string()
+    }
+
+    fn commands(&self) -> Cow<'_, [HostCommand]> {
+        Cow::Owned(Workload::commands(self))
+    }
+
+    /// Synthetic workloads know their own statistics: the random patterns
+    /// are uniformly random (`1.0`), the sequential ones perfectly
+    /// contiguous (`0.0`). Read-only random patterns also report `1.0`, as
+    /// the paper's experiments treat pattern randomness — not just write
+    /// randomness — as the FTL-state proxy.
+    fn random_write_fraction(&self) -> f64 {
+        if self.pattern.is_random() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl CommandSource for TracePlayer {
+    fn label(&self) -> String {
+        "trace".to_string()
+    }
+
+    fn commands(&self) -> Cow<'_, [HostCommand]> {
+        Cow::Borrowed(TracePlayer::commands(self))
+    }
+}
+
+/// An explicit command list with a label, usable anywhere a
+/// [`CommandSource`] is expected.
+///
+/// The write-randomness estimate defaults to
+/// [`estimate_random_write_fraction`] over the stream and can be pinned with
+/// [`with_random_write_fraction`](Self::with_random_write_fraction) when the
+/// caller knows better.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandStream {
+    label: String,
+    commands: Vec<HostCommand>,
+    random_write_fraction: Option<f64>,
+}
+
+impl CommandStream {
+    /// Wraps a command list under the given report label.
+    pub fn new(label: impl Into<String>, commands: Vec<HostCommand>) -> Self {
+        CommandStream {
+            label: label.into(),
+            commands,
+            random_write_fraction: None,
+        }
+    }
+
+    /// Pins the write-randomness estimate instead of deriving it from the
+    /// stream (clamped to `[0, 1]`).
+    pub fn with_random_write_fraction(mut self, fraction: f64) -> Self {
+        self.random_write_fraction = Some(fraction.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Number of commands in the stream.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// `true` if the stream holds no commands.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+}
+
+impl CommandSource for CommandStream {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn commands(&self) -> Cow<'_, [HostCommand]> {
+        Cow::Borrowed(&self.commands)
+    }
+
+    fn random_write_fraction(&self) -> f64 {
+        self.random_write_fraction
+            .unwrap_or_else(|| estimate_random_write_fraction(&self.commands))
+    }
+}
+
+impl FromIterator<HostCommand> for CommandStream {
+    fn from_iter<I: IntoIterator<Item = HostCommand>>(iter: I) -> Self {
+        CommandStream::new("stream", iter.into_iter().collect())
+    }
+}
+
+/// A closure-backed command source: the generator is invoked once per
+/// command index each time the stream is materialised. Build one with
+/// [`source_fn`].
+///
+/// Unless a write-randomness estimate is pinned with
+/// [`with_random_write_fraction`](Self::with_random_write_fraction), the
+/// default [`CommandSource::random_write_fraction`] materialises the stream
+/// a second time to estimate it.
+#[derive(Debug, Clone)]
+pub struct FnSource<F> {
+    label: String,
+    count: u64,
+    generate: F,
+    random_write_fraction: Option<f64>,
+}
+
+impl<F> FnSource<F>
+where
+    F: Fn(u64) -> HostCommand,
+{
+    /// Creates a source that generates `count` commands by calling
+    /// `generate(0..count)`.
+    pub fn new(label: impl Into<String>, count: u64, generate: F) -> Self {
+        FnSource {
+            label: label.into(),
+            count,
+            generate,
+            random_write_fraction: None,
+        }
+    }
+
+    /// Pins the write-randomness estimate (clamped to `[0, 1]`), which also
+    /// spares the extra stream materialisation the default estimator needs.
+    pub fn with_random_write_fraction(mut self, fraction: f64) -> Self {
+        self.random_write_fraction = Some(fraction.clamp(0.0, 1.0));
+        self
+    }
+}
+
+impl<F> CommandSource for FnSource<F>
+where
+    F: Fn(u64) -> HostCommand,
+{
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn commands(&self) -> Cow<'_, [HostCommand]> {
+        Cow::Owned((0..self.count).map(&self.generate).collect())
+    }
+
+    fn random_write_fraction(&self) -> f64 {
+        self.random_write_fraction
+            .unwrap_or_else(|| estimate_random_write_fraction(&self.commands()))
+    }
+}
+
+/// Convenience constructor for [`FnSource`]: a command source backed by a
+/// closure from command index to [`HostCommand`].
+pub fn source_fn<F>(label: impl Into<String>, count: u64, generate: F) -> FnSource<F>
+where
+    F: Fn(u64) -> HostCommand,
+{
+    FnSource::new(label, count, generate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::AccessPattern;
+    use ssdx_sim::SimTime;
+
+    fn write(id: u64, offset: u64) -> HostCommand {
+        HostCommand {
+            id,
+            op: HostOp::Write,
+            offset,
+            bytes: 4096,
+            issue_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn estimator_reports_zero_for_sequential_streams() {
+        let cmds: Vec<HostCommand> = (0..10).map(|i| write(i, i * 4096)).collect();
+        assert_eq!(estimate_random_write_fraction(&cmds), 0.0);
+    }
+
+    #[test]
+    fn estimator_reports_one_for_fully_scattered_streams() {
+        let cmds: Vec<HostCommand> = (0..10).map(|i| write(i, i * (1 << 20))).collect();
+        assert_eq!(estimate_random_write_fraction(&cmds), 1.0);
+    }
+
+    #[test]
+    fn estimator_denominator_is_transitions_not_writes() {
+        // Three writes, two transitions, one of them non-contiguous: the
+        // fraction must be 1/2, not 1/3 (the first write only sets the
+        // baseline).
+        let cmds = vec![write(0, 0), write(1, 4096), write(2, 1 << 20)];
+        assert_eq!(estimate_random_write_fraction(&cmds), 0.5);
+    }
+
+    #[test]
+    fn estimator_handles_streams_without_transitions() {
+        assert_eq!(estimate_random_write_fraction(&[]), 0.0);
+        assert_eq!(estimate_random_write_fraction(&[write(0, 777)]), 0.0);
+        // Reads never count.
+        let read = HostCommand {
+            id: 1,
+            op: HostOp::Read,
+            offset: 0,
+            bytes: 4096,
+            issue_at: SimTime::ZERO,
+        };
+        assert_eq!(estimate_random_write_fraction(&[read, read]), 0.0);
+    }
+
+    #[test]
+    fn workload_source_matches_its_pattern() {
+        let sw = Workload::builder(AccessPattern::SequentialWrite).command_count(16).build();
+        assert_eq!(CommandSource::label(&sw), "SW");
+        assert_eq!(sw.random_write_fraction(), 0.0);
+        assert_eq!(CommandSource::commands(&sw).len(), 16);
+
+        let rr = Workload::builder(AccessPattern::RandomRead).command_count(4).build();
+        assert_eq!(rr.random_write_fraction(), 1.0);
+    }
+
+    #[test]
+    fn trace_source_estimates_from_the_stream() {
+        let trace = TracePlayer::parse("0 write 0 4096\n1 write 4096 4096\n").unwrap();
+        assert_eq!(CommandSource::label(&trace), "trace");
+        assert_eq!(trace.random_write_fraction(), 0.0);
+        assert_eq!(CommandSource::commands(&trace).len(), 2);
+    }
+
+    #[test]
+    fn command_stream_overrides_and_clamps_the_fraction() {
+        let stream = CommandStream::new("mine", vec![write(0, 0), write(1, 4096)]);
+        assert_eq!(stream.random_write_fraction(), 0.0);
+        assert_eq!(stream.len(), 2);
+        assert!(!stream.is_empty());
+        let pinned = stream.with_random_write_fraction(7.0);
+        assert_eq!(pinned.random_write_fraction(), 1.0);
+        assert_eq!(pinned.label(), "mine");
+    }
+
+    #[test]
+    fn fn_source_generates_on_demand() {
+        let src = source_fn("gen", 8, |i| write(i, i * 8192));
+        let cmds = src.commands();
+        assert_eq!(cmds.len(), 8);
+        assert_eq!(cmds[3].offset, 3 * 8192);
+        // Every page is 8 KB apart, so no write is contiguous.
+        assert_eq!(src.random_write_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fn_source_can_pin_its_fraction_and_skip_the_estimator() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let src = source_fn("gen", 4, |i| {
+            calls.set(calls.get() + 1);
+            write(i, i * 8192)
+        })
+        .with_random_write_fraction(2.0);
+        assert_eq!(src.random_write_fraction(), 1.0, "pinned values are clamped");
+        assert_eq!(calls.get(), 0, "a pinned fraction must not materialise the stream");
+        let _ = src.commands();
+        assert_eq!(calls.get(), 4);
+    }
+
+    #[test]
+    fn references_and_boxes_are_sources_too() {
+        let w = Workload::builder(AccessPattern::SequentialWrite).command_count(4).build();
+        fn takes_source(s: impl CommandSource) -> usize {
+            s.commands().len()
+        }
+        // A reference is a CommandSource too, so the workload survives the
+        // call and can still be boxed afterwards.
+        let by_ref: &Workload = &w;
+        assert_eq!(takes_source(by_ref), 4);
+        let boxed: Box<dyn CommandSource> = Box::new(w);
+        assert_eq!(boxed.commands().len(), 4);
+        assert_eq!(boxed.label(), "SW");
+    }
+
+    #[test]
+    fn command_stream_collects_from_iterator() {
+        let stream: CommandStream = (0..5).map(|i| write(i, i * 4096)).collect();
+        assert_eq!(stream.len(), 5);
+        assert_eq!(stream.label(), "stream");
+    }
+}

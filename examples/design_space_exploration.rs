@@ -15,7 +15,7 @@ fn steady_state(mut cfg: SsdConfig) -> SsdConfig {
     cfg
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::builder(AccessPattern::SequentialWrite)
         .command_count(8_192)
         .build();
@@ -25,7 +25,9 @@ fn main() {
         println!("================================================================");
         println!("host interface: {}", host.name());
         println!("================================================================");
-        let sweep = explorer::sweep_host_interface(host, &configs, &workload);
+        // The Explorer-based study sweeps every configuration under both
+        // cache policies and augments the component reference series.
+        let sweep = explorer::host_interface_study(host, &configs, &workload)?;
         print!("{}", sweep.to_table());
 
         match sweep.optimal_design_point(0.95) {
@@ -49,4 +51,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

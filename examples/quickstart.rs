@@ -21,15 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("queue depth  : {}", config.queue_depth());
     println!();
 
-    let mut ssd = Ssd::new(config);
+    // Fallible construction: an invalid configuration surfaces as an error
+    // instead of a panic.
+    let mut ssd = Ssd::try_new(config)?;
 
     // The paper's canonical workload: 4 KB sequential writes injected as fast
-    // as the host interface admits them.
+    // as the host interface admits them. `Workload` is a `CommandSource`, so
+    // it feeds `simulate` directly.
     let workload = Workload::builder(AccessPattern::SequentialWrite)
         .command_count(8_192)
         .build();
 
-    let report = ssd.run(&workload);
+    let report = ssd.simulate(&workload);
     println!("{report}");
 
     // The same platform, seen from the component angle: how much of the

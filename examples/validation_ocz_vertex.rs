@@ -20,11 +20,11 @@ const REFERENCE_MBPS: [(AccessPattern, f64); 4] = [
     (AccessPattern::RandomRead, 145.0),
 ];
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ocz_vertex_like();
     println!("simulated drive: {} ({})", config.name, config.architecture_label());
     println!();
-    let mut ssd = Ssd::new(config);
+    let mut ssd = Ssd::try_new(config)?;
 
     println!(
         "{:<20} {:>14} {:>14} {:>8}",
@@ -38,7 +38,7 @@ fn main() {
             .command_count(65_536)
             .footprint_bytes(8 << 30)
             .build();
-        let report = ssd.run(&workload);
+        let report = ssd.simulate(&workload);
         let error = (report.throughput_mbps - reference).abs() / reference * 100.0;
         worst_error = worst_error.max(error);
         println!(
@@ -51,4 +51,5 @@ fn main() {
     }
     println!();
     println!("worst-case deviation from the device reference: {worst_error:.1}%");
+    Ok(())
 }

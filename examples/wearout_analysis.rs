@@ -5,17 +5,17 @@
 //! Run with `cargo run --release --example wearout_analysis`.
 
 use ssdexplorer::core::configs::fig5_config;
-use ssdexplorer::core::explorer::wearout_sweep;
+use ssdexplorer::core::explorer::wearout_study;
 use ssdexplorer::ecc::EccScheme;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let endurance: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let base = fig5_config(EccScheme::fixed_bch(40));
     println!("configuration: {}", base.architecture_label());
     println!();
 
-    let fixed = wearout_sweep(&base, EccScheme::fixed_bch(40), &endurance, 2_048);
-    let adaptive = wearout_sweep(&base, EccScheme::adaptive_bch(40), &endurance, 2_048);
+    let fixed = wearout_study(&base, EccScheme::fixed_bch(40), &endurance, 2_048)?;
+    let adaptive = wearout_study(&base, EccScheme::adaptive_bch(40), &endurance, 2_048)?;
 
     println!(
         "{:>10} | {:>12} {:>12} | {:>12} {:>12}",
@@ -43,4 +43,5 @@ fn main() {
         (gain - 1.0) * 100.0
     );
     println!("(the gain disappears at end of life, when both codes must correct 40 bits)");
+    Ok(())
 }

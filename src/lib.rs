@@ -16,11 +16,11 @@
 //!     .topology(4, 4, 2)
 //!     .dram_buffers(4)
 //!     .build()?;
-//! let mut ssd = Ssd::new(config);
+//! let mut ssd = Ssd::try_new(config)?;
 //! let workload = Workload::builder(AccessPattern::SequentialWrite)
 //!     .command_count(128)
 //!     .build();
-//! let report = ssd.run(&workload);
+//! let report = ssd.simulate(&workload);
 //! assert!(report.throughput_mbps > 0.0);
 //! # Ok::<(), ssdexplorer::core::ConfigError>(())
 //! ```

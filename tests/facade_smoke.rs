@@ -60,8 +60,8 @@ fn every_reexport_resolves() {
     assert_eq!(config.total_dies(), 4);
 }
 
-/// Two identical `Ssd::run` invocations must produce identical reports —
-/// byte-for-byte, including latency percentiles and utilization figures.
+/// Two identical `Ssd::simulate` invocations must produce identical reports
+/// — byte-for-byte, including latency percentiles and utilization figures.
 #[test]
 fn run_round_trip_is_deterministic() {
     let run_once = || {
@@ -70,11 +70,11 @@ fn run_round_trip_is_deterministic() {
             .dram_buffers(4)
             .build()
             .unwrap();
-        let mut ssd = Ssd::new(config);
+        let mut ssd = Ssd::try_new(config).expect("configuration validates");
         let workload = Workload::builder(AccessPattern::RandomWrite)
             .command_count(256)
             .build();
-        ssd.run(&workload)
+        ssd.simulate(&workload)
     };
     let first = run_once();
     let second = run_once();

@@ -26,7 +26,7 @@ fn workload(pattern: AccessPattern, count: u64) -> Workload {
 fn sequential_write_report_is_internally_consistent() {
     let mut ssd = Ssd::new(small_config("consistency"));
     let w = workload(AccessPattern::SequentialWrite, 512);
-    let report = ssd.run(&w);
+    let report = ssd.simulate(&w);
 
     assert_eq!(report.commands, 512);
     assert_eq!(report.bytes, 512 * 4096);
@@ -52,8 +52,8 @@ fn write_cache_improves_latency_but_not_steady_state_throughput() {
     let mut no_cache_cfg = small_config("no-cache");
     no_cache_cfg.cache_policy = CachePolicy::NoCache;
 
-    let cached = Ssd::new(cached_cfg).run(&w);
-    let no_cache = Ssd::new(no_cache_cfg).run(&w);
+    let cached = Ssd::new(cached_cfg).simulate(&w);
+    let no_cache = Ssd::new(no_cache_cfg).simulate(&w);
 
     // Completing at DRAM is always faster than completing at the NAND.
     assert!(cached.mean_latency() < no_cache.mean_latency());
@@ -77,8 +77,8 @@ fn queue_depth_limits_no_cache_throughput() {
             .build()
             .expect("valid test configuration")
     };
-    let shallow = Ssd::new(build(1)).run(&w);
-    let deep = Ssd::new(build(32)).run(&w);
+    let shallow = Ssd::new(build(1)).simulate(&w);
+    let deep = Ssd::new(build(32)).simulate(&w);
     assert!(
         deep.throughput_mbps > 4.0 * shallow.throughput_mbps,
         "deep {} vs shallow {}",
@@ -95,8 +95,8 @@ fn nvme_and_sata_share_the_same_back_end_behaviour_when_cached() {
     let mut nvme = small_config("nvme");
     nvme.host_interface = HostInterfaceConfig::nvme_gen2_x8();
 
-    let r_sata = Ssd::new(sata).run(&w);
-    let r_nvme = Ssd::new(nvme).run(&w);
+    let r_sata = Ssd::new(sata).simulate(&w);
+    let r_nvme = Ssd::new(nvme).simulate(&w);
     // This configuration is flash-limited: the host interface choice should
     // barely matter once the write cache absorbs the protocol differences.
     let ratio = r_nvme.throughput_mbps / r_sata.throughput_mbps;
@@ -105,8 +105,8 @@ fn nvme_and_sata_share_the_same_back_end_behaviour_when_cached() {
 
 #[test]
 fn random_write_amplification_shows_up_in_nand_traffic() {
-    let seq = Ssd::new(small_config("seq")).run(&workload(AccessPattern::SequentialWrite, 512));
-    let rnd = Ssd::new(small_config("rnd")).run(&workload(AccessPattern::RandomWrite, 512));
+    let seq = Ssd::new(small_config("seq")).simulate(&workload(AccessPattern::SequentialWrite, 512));
+    let rnd = Ssd::new(small_config("rnd")).simulate(&workload(AccessPattern::RandomWrite, 512));
     assert!(rnd.waf > 2.0, "random WAF should be well above 1, got {}", rnd.waf);
     assert!((seq.waf - 1.0).abs() < 1e-9);
     // Amplification is physical: more NAND programs for the same host bytes.
@@ -116,7 +116,7 @@ fn random_write_amplification_shows_up_in_nand_traffic() {
 #[test]
 fn read_only_workloads_never_program_the_array() {
     for pattern in [AccessPattern::SequentialRead, AccessPattern::RandomRead] {
-        let report = Ssd::new(small_config("reads")).run(&workload(pattern, 256));
+        let report = Ssd::new(small_config("reads")).simulate(&workload(pattern, 256));
         assert_eq!(report.nand_page_programs, 0, "{pattern:?} must not program pages");
         assert!(report.nand_page_reads > 0);
     }
@@ -133,8 +133,8 @@ fn trace_replay_matches_equivalent_synthetic_workload() {
     let trace = TracePlayer::parse(&text).expect("trace parses");
 
     let synthetic = Ssd::new(small_config("synthetic"))
-        .run(&Workload::builder(AccessPattern::SequentialWrite).command_count(256).build());
-    let replayed = Ssd::new(small_config("replayed")).run_trace(&trace);
+        .simulate(&Workload::builder(AccessPattern::SequentialWrite).command_count(256).build());
+    let replayed = Ssd::new(small_config("replayed")).simulate(&trace);
 
     assert_eq!(synthetic.commands, replayed.commands);
     assert_eq!(synthetic.bytes, replayed.bytes);
@@ -154,8 +154,8 @@ fn config_text_round_trip_drives_the_same_platform() {
     let parsed = SsdConfig::from_text(&original.to_text()).expect("round trip parses");
 
     let w = workload(AccessPattern::SequentialWrite, 256);
-    let a = Ssd::new(original).run(&w);
-    let b = Ssd::new(parsed).run(&w);
+    let a = Ssd::new(original).simulate(&w);
+    let b = Ssd::new(parsed).simulate(&w);
     assert_eq!(a.elapsed, b.elapsed);
     assert_eq!(a.nand_page_programs, b.nand_page_programs);
 }
@@ -163,8 +163,8 @@ fn config_text_round_trip_drives_the_same_platform() {
 #[test]
 fn simulation_is_deterministic_across_runs() {
     let w = workload(AccessPattern::RandomWrite, 384);
-    let first = Ssd::new(small_config("det")).run(&w);
-    let second = Ssd::new(small_config("det")).run(&w);
+    let first = Ssd::new(small_config("det")).simulate(&w);
+    let second = Ssd::new(small_config("det")).simulate(&w);
     assert_eq!(first.elapsed, second.elapsed);
     assert_eq!(first.nand_page_programs, second.nand_page_programs);
     assert_eq!(first.latency.count(), second.latency.count());
@@ -174,8 +174,8 @@ fn simulation_is_deterministic_across_runs() {
 fn reusing_one_platform_for_many_runs_resets_cleanly() {
     let mut ssd = Ssd::new(small_config("reuse"));
     let w = workload(AccessPattern::SequentialWrite, 256);
-    let first = ssd.run(&w);
-    let second = ssd.run(&w);
+    let first = ssd.simulate(&w);
+    let second = ssd.simulate(&w);
     assert_eq!(first.elapsed, second.elapsed);
     assert!((first.throughput_mbps - second.throughput_mbps).abs() < 1e-9);
 }
@@ -187,7 +187,7 @@ fn component_breakdown_brackets_the_full_pipeline() {
     let ideal = ssd.interface_ideal_mbps();
     let host_dram = ssd.host_dram_only_mbps(&w);
     let flash = ssd.flash_path_mbps(&w);
-    let full = ssd.run(&w).throughput_mbps;
+    let full = ssd.simulate(&w).throughput_mbps;
     assert!(host_dram <= ideal * 1.01);
     assert!(full <= host_dram * 1.05);
     assert!(full <= flash * 1.2);

@@ -4,7 +4,8 @@
 //! wins, in which direction a curve moves, where saturation happens — so the
 //! experiment harness cannot silently drift away from the publication while
 //! refactoring. The absolute numbers live in EXPERIMENTS.md and are produced
-//! by the `experiments` binary with larger workloads.
+//! by the `experiments` binary with larger workloads. The sweeps run through
+//! the Explorer-based studies (`host_interface_study` / `wearout_study`).
 
 use ssdexplorer::core::configs::{fig5_config, ocz_vertex_like, table2_configs, table3_configs};
 use ssdexplorer::core::{explorer, speed, HostInterfaceConfig, Ssd, SsdConfig};
@@ -39,13 +40,13 @@ fn fig2_shape_sequential_beats_random_and_reads_beat_writes() {
     // reaches the flash-limited steady state the full experiment measures.
     let mut config = ocz_vertex_like();
     config.dram_buffer_capacity = 256 * 1024;
-    let mut ssd = Ssd::new(config);
+    let mut ssd = Ssd::try_new(config).expect("ocz-vertex-like validates");
     let mut run = |pattern| {
         let w = Workload::builder(pattern)
             .command_count(4_096)
             .footprint_bytes(4 << 30)
             .build();
-        ssd.run(&w).throughput_mbps
+        ssd.simulate(&w).throughput_mbps
     };
     let sw = run(AccessPattern::SequentialWrite);
     let sr = run(AccessPattern::SequentialRead);
@@ -62,11 +63,12 @@ fn fig2_shape_sequential_beats_random_and_reads_beat_writes() {
 
 #[test]
 fn fig3_shape_sata_window_flattens_no_cache_and_c6_saturates() {
-    let sweep = explorer::sweep_host_interface(
+    let sweep = explorer::host_interface_study(
         HostInterfaceConfig::Sata2,
         &reduced_table2(),
         &sw_workload(3_072),
-    );
+    )
+    .expect("table configurations validate");
     let by_name = |name: &str| {
         sweep
             .points
@@ -102,11 +104,12 @@ fn fig3_shape_sata_window_flattens_no_cache_and_c6_saturates() {
 
 #[test]
 fn fig4_shape_nvme_removes_the_host_bottleneck() {
-    let sweep = explorer::sweep_host_interface(
+    let sweep = explorer::host_interface_study(
         HostInterfaceConfig::nvme_gen2_x8(),
         &reduced_table2(),
         &sw_workload(3_072),
-    );
+    )
+    .expect("table configurations validate");
     // Nothing saturates a PCIe Gen2 x8 link with this NAND generation.
     assert!(sweep.saturating_points(0.95).is_empty());
     for p in &sweep.points {
@@ -130,8 +133,10 @@ fn fig4_shape_nvme_removes_the_host_bottleneck() {
 fn fig5_shape_adaptive_bch_wins_reads_until_end_of_life() {
     let base = fig5_config(EccScheme::fixed_bch(40));
     let endurance = [0.0, 0.5, 1.0];
-    let fixed = explorer::wearout_sweep(&base, EccScheme::fixed_bch(40), &endurance, 512);
-    let adaptive = explorer::wearout_sweep(&base, EccScheme::adaptive_bch(40), &endurance, 512);
+    let fixed = explorer::wearout_study(&base, EccScheme::fixed_bch(40), &endurance, 512)
+        .expect("fig5 configuration validates");
+    let adaptive = explorer::wearout_study(&base, EccScheme::adaptive_bch(40), &endurance, 512)
+        .expect("fig5 configuration validates");
 
     // Early and mid life: adaptive BCH reads faster.
     assert!(adaptive[0].read_mbps > 1.2 * fixed[0].read_mbps);

@@ -220,7 +220,7 @@ proptest! {
         let ideal = ssd.interface_ideal_mbps();
         for pattern in [AccessPattern::SequentialWrite, AccessPattern::SequentialRead] {
             let workload = Workload::builder(pattern).command_count(commands).build();
-            let report = ssd.run(&workload);
+            let report = ssd.simulate(&workload);
             prop_assert!(report.throughput_mbps <= ideal * 1.01,
                 "{pattern:?}: {} MB/s exceeds the interface ideal {} MB/s",
                 report.throughput_mbps, ideal);

@@ -1,0 +1,249 @@
+//! Integration tests for the session-based execution API: `CommandSource`
+//! genericity, `SimSession` step/finish equivalence, probe ordering, and
+//! the deprecated shims' fidelity to the new generic path.
+
+use proptest::prelude::*;
+use ssdexplorer::core::{
+    CommandRecord, CompletionLog, PerfReport, Probe, SessionSnapshot, Ssd, SsdConfig,
+};
+use ssdexplorer::ftl::WorkloadMix;
+use ssdexplorer::hostif::{
+    source_fn, AccessPattern, CommandSource, CommandStream, HostCommand, HostOp, TracePlayer,
+    Workload,
+};
+use ssdexplorer::sim::SimTime;
+
+fn small_config(name: &str) -> SsdConfig {
+    SsdConfig::builder(name)
+        .topology(4, 2, 2)
+        .dram_buffers(4)
+        .dram_buffer_capacity(128 * 1024)
+        .build()
+        .expect("valid test configuration")
+}
+
+fn fingerprint(report: &PerfReport) -> String {
+    format!("{report:?}")
+}
+
+#[test]
+fn session_probe_callbacks_arrive_in_order() {
+    /// A probe that asserts the documented ordering contract while the run
+    /// is still in flight.
+    #[derive(Default)]
+    struct OrderingProbe {
+        next_index: u64,
+        snapshots_seen: usize,
+        finished: bool,
+    }
+    impl Probe for OrderingProbe {
+        fn on_command(&mut self, record: &CommandRecord) {
+            assert!(!self.finished, "no command may follow on_finish");
+            assert_eq!(record.index, self.next_index, "records arrive in stream order");
+            assert!(record.completed_at >= record.admitted_at);
+            self.next_index += 1;
+        }
+        fn on_snapshot(&mut self, snapshot: &SessionSnapshot) {
+            assert!(!self.finished, "no snapshot may follow on_finish");
+            assert_eq!(
+                snapshot.commands_completed, self.next_index,
+                "snapshots reflect the commands already delivered"
+            );
+            self.snapshots_seen += 1;
+        }
+        fn on_finish(&mut self, report: &PerfReport) {
+            assert_eq!(report.commands, self.next_index, "finish fires after every command");
+            self.finished = true;
+        }
+    }
+
+    let w = Workload::builder(AccessPattern::SequentialWrite)
+        .command_count(160)
+        .build();
+    let mut ssd = Ssd::new(small_config("ordering"));
+    let mut probe = OrderingProbe::default();
+    let mut session = ssd.session(&w);
+    session.attach(&mut probe);
+    session.sample_every(50);
+    let report = session.finish();
+
+    assert!(probe.finished);
+    assert_eq!(probe.next_index, 160);
+    assert_eq!(probe.snapshots_seen, 3);
+    assert_eq!(report.commands, 160);
+}
+
+#[test]
+fn multiple_probes_all_observe_the_run() {
+    let w = Workload::builder(AccessPattern::SequentialWrite)
+        .command_count(64)
+        .build();
+    let mut ssd = Ssd::new(small_config("multi-probe"));
+    let mut a = CompletionLog::new();
+    let mut b = CompletionLog::new();
+    let mut session = ssd.session(&w);
+    session.attach(&mut a);
+    session.attach(&mut b);
+    let _ = session.finish();
+    assert_eq!(a.records().len(), 64);
+    assert_eq!(b.records().len(), 64);
+    assert!(a.is_finished() && b.is_finished());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_shim_matches_simulate() {
+    for pattern in AccessPattern::all() {
+        let w = Workload::builder(pattern)
+            .command_count(256)
+            .footprint_bytes(64 << 20)
+            .build();
+        let legacy = Ssd::new(small_config("legacy")).run(&w);
+        let generic = Ssd::new(small_config("legacy")).simulate(&w);
+        assert_eq!(
+            fingerprint(&legacy),
+            fingerprint(&generic),
+            "{pattern:?}: run() must be a faithful shim"
+        );
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_trace_shim_matches_simulate() {
+    let mut text = String::new();
+    for i in 0..128u64 {
+        // A mixed trace with a non-contiguous write every fourth command.
+        let offset = if i % 4 == 0 { i * 1_048_576 } else { i * 4096 };
+        let op = if i % 8 == 0 { "read" } else { "write" };
+        text.push_str(&format!("{} {} {} 4096\n", i, op, offset));
+    }
+    let trace = TracePlayer::parse(&text).expect("trace parses");
+    let legacy = Ssd::new(small_config("trace")).run_trace(&trace);
+    let generic = Ssd::new(small_config("trace")).simulate(&trace);
+    assert_eq!(fingerprint(&legacy), fingerprint(&generic));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_commands_shim_matches_a_pinned_command_stream() {
+    let commands: Vec<HostCommand> = (0..96)
+        .map(|i| HostCommand {
+            id: i,
+            op: HostOp::Write,
+            offset: i * 4096,
+            bytes: 4096,
+            issue_at: SimTime::ZERO,
+        })
+        .collect();
+    let mix = WorkloadMix::mixed(0.4);
+    let legacy = Ssd::new(small_config("cmds")).run_commands("mine", &commands, mix);
+    let stream = CommandStream::new("mine", commands).with_random_write_fraction(0.4);
+    let generic = Ssd::new(small_config("cmds")).simulate(&stream);
+    assert_eq!(fingerprint(&legacy), fingerprint(&generic));
+    assert_eq!(legacy.workload, "mine");
+}
+
+#[test]
+fn closure_sources_run_through_the_same_pipeline_as_explicit_streams() {
+    let generator = source_fn("gen", 128, |i| HostCommand {
+        id: i,
+        op: HostOp::Write,
+        offset: i * 4096,
+        bytes: 4096,
+        issue_at: SimTime::ZERO,
+    });
+    let explicit = CommandStream::new("gen", generator.commands().into_owned());
+    let a = Ssd::new(small_config("closure")).simulate(&generator);
+    let b = Ssd::new(small_config("closure")).simulate(&explicit);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn boxed_dyn_sources_are_accepted() {
+    let sources: Vec<Box<dyn CommandSource>> = vec![
+        Box::new(Workload::builder(AccessPattern::SequentialWrite).command_count(32).build()),
+        Box::new(TracePlayer::parse("0 write 0 4096\n1 read 0 4096\n").unwrap()),
+    ];
+    let mut ssd = Ssd::new(small_config("dyn"));
+    for source in &sources {
+        let report = ssd.simulate(source.as_ref());
+        assert!(report.commands > 0);
+    }
+}
+
+proptest! {
+    // Full-pipeline properties are expensive; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole equivalence: stepping a session to completion is
+    /// byte-identical to the one-shot path, for every pattern, topology and
+    /// seed, including an interleaving of step() and run_until().
+    #[test]
+    fn stepped_sessions_are_byte_identical_to_one_shot_runs(
+        channels in 1u32..5,
+        ways in 1u32..4,
+        pattern_idx in 0usize..4,
+        commands in 32u64..160,
+        seed in any::<u64>(),
+    ) {
+        let pattern = AccessPattern::all()[pattern_idx];
+        let config = || {
+            SsdConfig::builder("prop-session")
+                .topology(channels, ways, 2)
+                .dram_buffers(channels)
+                .dram_buffer_capacity(64 * 1024)
+                .build()
+                .expect("topology is valid")
+        };
+        let w = Workload::builder(pattern)
+            .command_count(commands)
+            .footprint_bytes(32 << 20)
+            .seed(seed)
+            .build();
+
+        let one_shot = Ssd::new(config()).simulate(&w);
+
+        let mut ssd = Ssd::new(config());
+        let mut session = ssd.session(&w);
+        // Interleave the driving styles: a few manual steps, a deadline
+        // chunk, then drain via finish().
+        for _ in 0..commands / 4 {
+            prop_assert!(session.step().is_some());
+        }
+        session.run_until(session.now() + SimTime::from_us(200));
+        let stepped = session.finish();
+
+        prop_assert_eq!(fingerprint(&one_shot), fingerprint(&stepped));
+    }
+
+    /// Session accounting stays consistent at every step.
+    #[test]
+    fn session_progress_counters_always_add_up(
+        commands in 16u64..96,
+        pattern_idx in 0usize..4,
+    ) {
+        let pattern = AccessPattern::all()[pattern_idx];
+        let w = Workload::builder(pattern)
+            .command_count(commands)
+            .footprint_bytes(16 << 20)
+            .build();
+        let mut ssd = Ssd::new(small_config("prop-counters"));
+        let mut session = ssd.session(&w);
+        let mut last_now = SimTime::ZERO;
+        let mut seen = 0u64;
+        while let Some(record) = session.step() {
+            prop_assert_eq!(record.index, seen);
+            seen += 1;
+            prop_assert_eq!(session.completed(), seen);
+            prop_assert_eq!(session.completed() + session.remaining(), commands);
+            // The session clock never runs backwards.
+            prop_assert!(session.now() >= last_now);
+            last_now = session.now();
+        }
+        prop_assert!(session.is_done());
+        let report = session.finish();
+        prop_assert_eq!(report.commands, commands);
+        prop_assert_eq!(report.elapsed, last_now);
+    }
+}
