@@ -2,7 +2,9 @@
 //! behind a SATA II host interface.
 //!
 //! Prints the DDR+FLASH / SSD-cache / SSD-no-cache columns for C1–C10, then
-//! benchmarks representative configurations as timing kernels.
+//! benchmarks representative configurations as timing kernels. The study's
+//! configuration × cache-policy product fans out across all cores via the
+//! `ParallelExecutor` (byte-identical to the sequential sweep).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssdx_bench::{sequential_write_workload, steady_state, BENCH_COMMANDS};

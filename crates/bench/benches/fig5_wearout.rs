@@ -2,7 +2,9 @@
 //!
 //! Prints the read/write throughput of the 4-channel/2-way/4-die platform at
 //! several points of its rated endurance for both ECC schemes, then
-//! benchmarks the fresh and end-of-life read runs.
+//! benchmarks the fresh and end-of-life read runs. Each study's endurance
+//! axis fans out across all cores via the `ParallelExecutor`
+//! (byte-identical to the sequential sweep).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssdx_bench::bench_workload;

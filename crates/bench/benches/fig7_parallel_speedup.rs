@@ -1,0 +1,52 @@
+//! Fig. 7 (repo extension) — parallel sweep speedup over the sequential
+//! `Explorer`.
+//!
+//! The paper's Fig. 6 records how fast one simulation runs; this bench
+//! records how fast a *sweep* of simulations runs when the `SweepJob`s fan
+//! out across worker threads. It first prints a sequential-vs-parallel
+//! wall-clock table for 1/2/4/8 threads on an 8-point sweep (verifying
+//! byte-identity at each count), then criterion-benchmarks the sequential
+//! and parallel paths so the speedup has a recorded trajectory. On a
+//! ≥ 4-core machine the 4-thread row of the printed table is expected to
+//! reach ≥ 2x; single-core CI boxes still verify identity, just without
+//! the wall-clock win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdx_bench::{print_speedup_series, sequential_write_workload, speedup_explorer};
+use ssdx_core::ParallelExecutor;
+use std::hint::black_box;
+
+const SWEEP_COMMANDS: u64 = 2_048;
+
+fn print_series() {
+    println!("\n=== Fig. 7: parallel sweep speedup (8-point sweep, {SWEEP_COMMANDS} commands/point) ===");
+    print_speedup_series(SWEEP_COMMANDS);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig7_parallel_speedup");
+    group.sample_size(10);
+    let explorer = speedup_explorer();
+    let workload = sequential_write_workload(SWEEP_COMMANDS / 2);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(explorer.run(&workload).expect("valid sweep").len()))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                let executor = ParallelExecutor::with_threads(threads);
+                b.iter(|| {
+                    black_box(executor.run(&explorer, &workload).expect("valid sweep").len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Regenerates every table and figure of the SSDExplorer paper's evaluation.
 //!
-//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|tables]`.
+//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|speedup|tables]`.
 //! Results are printed as aligned text tables; EXPERIMENTS.md records the
 //! values measured on the reference machine next to the paper's own numbers.
 
 use ssdx_core::configs::{fig5_config, ocz_vertex_like, table2_configs, table3_configs};
 use ssdx_core::{
-    explorer, speed, CachePolicy, HostInterfaceConfig, Ssd, SsdConfig,
+    explorer, speed, CachePolicy, HostInterfaceConfig, ParallelExecutor, Ssd, SsdConfig,
 };
 use ssdx_ecc::EccScheme;
 use ssdx_hostif::{AccessPattern, Workload};
@@ -206,6 +206,23 @@ fn fig6_simulation_speed() {
     println!();
 }
 
+fn parallel_speedup() {
+    println!("==============================================================");
+    println!("Parallel sweep speedup — sequential Explorer vs ParallelExecutor");
+    println!("==============================================================");
+    let machine = ParallelExecutor::new().threads();
+    println!(
+        "8-point sweep (channels x cache x seed), {} commands per point; \
+         this machine exposes {machine} hardware thread(s)\n",
+        sweep_commands() / 4
+    );
+    ssdx_bench::print_speedup_series(sweep_commands() / 4);
+    println!(
+        "\n(every row is verified byte-identical to the sequential sweep; \
+         wall-clock speedup requires the hardware threads to exist)\n"
+    );
+}
+
 fn cache_policy_note() {
     // Small sanity print showing the two DRAM-buffer policies side by side on
     // the default platform, mirroring the discussion in Section IV-A.
@@ -227,6 +244,7 @@ fn main() {
         "fig4" => fig4_pcie_sweep(),
         "fig5" => fig5_wearout(),
         "fig6" => fig6_simulation_speed(),
+        "speedup" => parallel_speedup(),
         "tables" => {
             print_table2();
             print_table3();
@@ -240,6 +258,7 @@ fn main() {
             fig5_wearout();
             print_table3();
             fig6_simulation_speed();
+            parallel_speedup();
         }
     }
 }

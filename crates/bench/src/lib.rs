@@ -6,7 +6,7 @@
 //! experiment runs (larger workloads, all configurations) live in the
 //! `experiments` binary: `cargo run --release -p ssdx-bench --bin experiments`.
 
-use ssdx_core::SsdConfig;
+use ssdx_core::{Axis, CachePolicy, Explorer, SsdConfig};
 use ssdx_hostif::{AccessPattern, Workload};
 
 /// Number of 4 KB commands used by the bench-sized sweeps (the `experiments`
@@ -35,6 +35,51 @@ pub fn bench_workload(pattern: AccessPattern, commands: u64) -> Workload {
         .build()
 }
 
+/// Measures the canonical speedup series — 1/2/4/8 threads over
+/// [`speedup_explorer`] with one shared sequential baseline — asserting
+/// byte-identity for every row and printing one summary line per row.
+/// Shared by `experiments -- speedup` and the `fig7_parallel_speedup`
+/// bench so the two recorded trajectories cannot silently diverge.
+pub fn print_speedup_series(commands: u64) {
+    let explorer = speedup_explorer();
+    let workload = sequential_write_workload(commands);
+    let rows = ssdx_core::measure_sweep_speedups(&explorer, &workload, &[1, 2, 4, 8])
+        .expect("speedup sweep points are valid");
+    for speedup in &rows {
+        assert!(
+            speedup.identical,
+            "determinism violation: parallel sweep diverged at {} threads",
+            speedup.threads
+        );
+        println!("{}", speedup.summary_line());
+    }
+}
+
+/// The canonical 8-point sweep of the parallel-speedup measurements
+/// (Fig. 7 of the repo, `experiments -- speedup`): channels × cache policy
+/// × seed over a steady-state base platform, so the points differ in cost
+/// and the executor's load balancing is actually exercised.
+pub fn speedup_explorer() -> Explorer {
+    let base = steady_state(
+        SsdConfig::builder("speedup-base")
+            .topology(4, 2, 2)
+            .dram_buffers(4)
+            .build()
+            .expect("speedup base configuration is valid"),
+    );
+    Explorer::new(base)
+        .over(Axis::over("channels", [4u32, 8], |cfg, &c| {
+            cfg.channels = c;
+            cfg.dram_buffers = c;
+        }))
+        .over(
+            Axis::new("cache")
+                .point("cache", |cfg| cfg.cache_policy = CachePolicy::WriteCache)
+                .point("no cache", |cfg| cfg.cache_policy = CachePolicy::NoCache),
+        )
+        .over(Axis::over("seed", [11u64, 23], |cfg, &s| cfg.seed = s))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,6 +88,12 @@ mod tests {
     fn steady_state_shrinks_the_cache() {
         let cfg = steady_state(SsdConfig::default());
         assert_eq!(cfg.dram_buffer_capacity, 128 * 1024);
+    }
+
+    #[test]
+    fn speedup_explorer_expands_to_eight_points() {
+        let jobs = speedup_explorer().jobs().expect("points validate");
+        assert_eq!(jobs.len(), 8);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! yields a [`SweepPoint`] carrying the full [`PerfReport`], so analyses
 //! are not limited to the throughput columns the original drivers exposed.
 //! The expansion into [`SweepJob`]s is explicit and side-effect free, which
-//! is what a future parallel executor will fan out over.
+//! is what the [`ParallelExecutor`](crate::ParallelExecutor) fans out over
+//! worker threads: [`Explorer::run_parallel`] produces a byte-identical
+//! [`Sweep`] using every available core (see the determinism contract on
+//! [`Explorer`]).
 //!
 //! The paper's two original studies are re-expressed on top of the engine:
 //! [`host_interface_study`] regenerates the optimal-design-point sweeps of
@@ -85,7 +88,8 @@ impl std::error::Error for SweepError {
 
 /// Shared platform-preparation hook applied after construction (e.g.
 /// artificial aging), before the source runs. `Send + Sync` so a batch of
-/// [`SweepJob`]s can be fanned out across threads by a parallel executor.
+/// [`SweepJob`]s can be fanned out across threads by the
+/// [`ParallelExecutor`](crate::ParallelExecutor).
 type PrepareHook = Arc<dyn Fn(&mut Ssd) + Send + Sync>;
 
 /// One labelled point of an [`Axis`]: a configuration mutation plus an
@@ -209,8 +213,11 @@ pub struct AxisValue {
 /// One materialised run of a sweep: the concrete configuration, the
 /// coordinates that produced it and the preparation hooks to apply. The
 /// expansion is deterministic and side-effect free, so a batch of jobs can
-/// be executed in any order (the hook a future PR needs to parallelize
-/// sweeps).
+/// be executed in any order — which is exactly what the
+/// [`ParallelExecutor`](crate::ParallelExecutor) does, claiming jobs from
+/// an atomic cursor across worker threads. `SweepJob` is `Send + Sync`
+/// (asserted at compile time by the executor's tests): the configuration is
+/// plain data and the hooks are `Arc<dyn Fn + Send + Sync>`.
 #[derive(Clone)]
 pub struct SweepJob {
     /// `(axis, value)` coordinates of this job, in axis order.
@@ -332,11 +339,20 @@ impl Sweep {
             .collect()
     }
 
-    /// The point maximising the given report metric (NaN-safe), if any.
+    /// The point maximising the given report metric, if any.
+    ///
+    /// NaN-safe: points whose metric evaluates to NaN are skipped entirely
+    /// (under [`f64::total_cmp`] alone a NaN would outrank every finite
+    /// value), so the result is `None` only for an empty sweep or when every
+    /// metric is NaN. Ties resolve to the last tied point in sweep order
+    /// (standard [`Iterator::max_by`] semantics).
     pub fn best_by<F: Fn(&PerfReport) -> f64>(&self, metric: F) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .max_by(|a, b| metric(&a.report).total_cmp(&metric(&b.report)))
+            .map(|p| (p, metric(&p.report)))
+            .filter(|(_, value)| !value.is_nan())
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(p, _)| p)
     }
 
     /// Formats the sweep as an aligned text table (one row per point).
@@ -366,6 +382,29 @@ impl Sweep {
 /// points against one [`CommandSource`]. Construction of each platform is
 /// fallible ([`Ssd::try_new`]), so a bad mutation surfaces as a
 /// [`SweepError`] instead of a panic.
+///
+/// # Determinism
+///
+/// This is the platform-wide determinism contract, stated once:
+///
+/// * **All randomness flows from `config.seed`.** Every stochastic
+///   component stream (per-die program-time jitter, raw-bit-error draws)
+///   is a [`SimRng`](ssdx_sim::rng::SimRng) forked from the configuration's
+///   seed with a component-specific salt. There are no global, thread-local
+///   or wall-clock entropy sources anywhere in the simulation.
+/// * **Per-point derivation.** [`jobs`](Self::jobs) clones the base
+///   configuration per point before mutating it, so each [`SweepJob`]
+///   carries its own seed (axes may themselves sweep `cfg.seed`). A job's
+///   platform is built, seeded and run entirely from that job's data.
+/// * **Order independence.** Because jobs share nothing mutable, executing
+///   them in any order — or concurrently via
+///   [`run_parallel`](Self::run_parallel) /
+///   [`ParallelExecutor`](crate::ParallelExecutor) — produces a [`Sweep`]
+///   byte-identical to the sequential [`run`](Self::run). The
+///   `parallel_sweep` integration suite asserts this at 1, 2, 4 and 8
+///   threads, and the session suite asserts the analogous property one
+///   level down: stepping a [`SimSession`](crate::SimSession) command by
+///   command reproduces the one-shot [`Ssd::simulate`] byte for byte.
 #[derive(Debug, Clone)]
 pub struct Explorer {
     base: SsdConfig,
@@ -401,7 +440,9 @@ impl Explorer {
     }
 
     /// Expands the cartesian product of all axes into concrete, validated
-    /// [`SweepJob`]s — the batch a (future, parallel) executor runs.
+    /// [`SweepJob`]s — the batch the
+    /// [`ParallelExecutor`](crate::ParallelExecutor) fans out, and what
+    /// [`run`](Self::run) executes in place.
     ///
     /// # Errors
     ///
@@ -446,6 +487,12 @@ impl Explorer {
         Ok(jobs)
     }
 
+    /// The swept axis names, in application order — the `axes` field of the
+    /// [`Sweep`] this explorer produces.
+    pub fn axis_names(&self) -> Vec<String> {
+        self.axes.iter().map(|a| a.name.clone()).collect()
+    }
+
     /// Runs the source across every combination, returning one
     /// [`SweepPoint`] per evaluated configuration.
     ///
@@ -458,10 +505,25 @@ impl Explorer {
         for job in &jobs {
             points.push(job.execute(source)?);
         }
-        Ok(Sweep {
-            axes: self.axes.iter().map(|a| a.name.clone()).collect(),
-            points,
-        })
+        Ok(Sweep { axes: self.axis_names(), points })
+    }
+
+    /// Runs the sweep across all available cores, producing a [`Sweep`]
+    /// byte-identical to [`run`](Self::run) (see the determinism contract
+    /// above). Equivalent to
+    /// [`ParallelExecutor::new().run(self, source)`](crate::ParallelExecutor::run);
+    /// build a [`ParallelExecutor`](crate::ParallelExecutor) explicitly to
+    /// pin the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the expansion errors of [`jobs`](Self::jobs) and the
+    /// earliest failing job's [`SweepError::InvalidPoint`].
+    pub fn run_parallel<S>(&self, source: &S) -> Result<Sweep, SweepError>
+    where
+        S: CommandSource + Sync + ?Sized,
+    {
+        crate::parallel::ParallelExecutor::new().run(self, source)
     }
 }
 
@@ -609,6 +671,12 @@ impl HostSweep {
 /// full-pipeline columns with the component-path reference series
 /// (`ideal`, `+DDR`, `DDR+FLASH`) measured outside the session pipeline.
 ///
+/// The full-pipeline product (the expensive part — two complete simulations
+/// per configuration) is fanned out across all cores with
+/// [`Explorer::run_parallel`]; by the determinism contract the result is
+/// byte-identical to a sequential run, so the legacy-shim fidelity tests
+/// keep passing unchanged.
+///
 /// # Errors
 ///
 /// Returns [`SweepError::InvalidPoint`] if any supplied configuration does
@@ -639,7 +707,7 @@ pub fn host_interface_study(
                     cfg.cache_policy = CachePolicy::NoCache;
                 }),
         );
-    let sweep = explorer.run(workload)?;
+    let sweep = explorer.run_parallel(workload)?;
 
     let mut points = Vec::with_capacity(configs.len());
     let mut interface_ideal = 0.0;
@@ -714,7 +782,9 @@ pub struct WearoutPoint {
 /// Sweeps NAND wear from fresh to rated end of life for the given ECC
 /// scheme on `config` with an [`Explorer`] over an [`endurance_axis`],
 /// measuring sequential read and write throughput at each point (the paper
-/// samples the normalised endurance axis 0.0–1.0).
+/// samples the normalised endurance axis 0.0–1.0). Both the read and the
+/// write sweep run through [`Explorer::run_parallel`], one platform per
+/// endurance point per worker thread.
 ///
 /// # Errors
 ///
@@ -737,8 +807,8 @@ pub fn wearout_study(
     let write_wl = Workload::builder(AccessPattern::SequentialWrite)
         .command_count(commands_per_point)
         .build();
-    let reads = explorer.run(&read_wl)?;
-    let writes = explorer.run(&write_wl)?;
+    let reads = explorer.run_parallel(&read_wl)?;
+    let writes = explorer.run_parallel(&write_wl)?;
     Ok(endurance_points
         .iter()
         .zip(reads.points)
@@ -897,6 +967,56 @@ mod tests {
             .unwrap();
         assert_eq!(sweep.len(), 2);
         assert_eq!(sweep.points[0].value("seed"), Some("1"));
+    }
+
+    #[test]
+    fn empty_sweep_accessors_degrade_gracefully() {
+        let sweep = Sweep { axes: Vec::new(), points: Vec::new() };
+        assert!(sweep.is_empty());
+        assert_eq!(sweep.len(), 0);
+        assert!(sweep.best_by(|r| r.throughput_mbps).is_none());
+        assert!(sweep.select("channels", "4").is_empty());
+        // The table still renders: the header row and nothing else.
+        let table = sweep.to_table();
+        assert_eq!(table.lines().count(), 1);
+        assert!(table.contains("point"));
+        assert!(table.contains("MB/s"));
+    }
+
+    #[test]
+    fn best_by_skips_nan_metrics() {
+        let sweep = Explorer::new(small_table().remove(0))
+            .over_values("channels", [2u32, 4], |cfg, &c| {
+                cfg.channels = c;
+                cfg.dram_buffers = c;
+            })
+            .run(&quick_workload())
+            .unwrap();
+        // total_cmp alone would rank NaN above every number; best_by must
+        // skip NaN metrics instead of electing them.
+        assert!(sweep.best_by(|_| f64::NAN).is_none(), "all NaN -> None");
+        // Mixed case: the faster (4-channel) point's metric is NaN, so the
+        // slower point must win despite its lower throughput.
+        let fast = sweep.best_by(|r| r.throughput_mbps).unwrap().report.throughput_mbps;
+        let best = sweep
+            .best_by(|r| if r.throughput_mbps == fast { f64::NAN } else { r.throughput_mbps })
+            .expect("finite points remain eligible");
+        assert_eq!(best.value("channels"), Some("2"));
+    }
+
+    #[test]
+    fn select_and_value_handle_missing_axis_names() {
+        let sweep = Explorer::new(small_table().remove(0))
+            .over_values("channels", [2u32, 4], |cfg, &c| {
+                cfg.channels = c;
+                cfg.dram_buffers = c;
+            })
+            .run(&quick_workload())
+            .unwrap();
+        assert!(sweep.select("no-such-axis", "2").is_empty());
+        assert!(sweep.select("channels", "no-such-value").is_empty());
+        assert_eq!(sweep.points[0].value("no-such-axis"), None);
+        assert_eq!(sweep.points[0].value("channels"), Some("2"));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! [`CommandSource`](ssdx_hostif::CommandSource) — a synthetic workload, a
 //! trace, a closure generator — runs through [`Ssd::simulate`] in one shot,
 //! or through a steppable [`SimSession`] with [`Probe`] observers for
-//! mid-run sampling. On top sits the generic [`Explorer`] sweep engine and
-//! the drivers that regenerate the paper's experiments:
+//! mid-run sampling. On top sits the generic [`Explorer`] sweep engine —
+//! with the [`ParallelExecutor`] fanning its [`SweepJob`]s out across all
+//! cores while keeping results byte-identical to a sequential run (see the
+//! determinism contract on [`Explorer`]) — and the drivers that regenerate
+//! the paper's experiments:
 //!
 //! * [`explorer::host_interface_study`] — the optimal-design-point sweeps of
 //!   Figs. 3 and 4 over the Table II configurations ([`configs::table2_configs`]);
@@ -48,6 +51,7 @@ pub mod config;
 pub mod configs;
 pub mod explorer;
 pub mod layout;
+pub mod parallel;
 pub mod report;
 pub mod session;
 pub mod speed;
@@ -64,7 +68,11 @@ pub use explorer::{
     HostSweepPoint, Sweep, SweepError, SweepJob, SweepPoint, WearoutPoint,
 };
 pub use layout::{PageAllocator, PageTarget};
+pub use parallel::ParallelExecutor;
 pub use report::{PerfReport, UtilizationBreakdown};
 pub use session::{CommandRecord, CompletionLog, Probe, SessionSnapshot, SimSession};
-pub use speed::{measure_kcps, measure_kcps_sweep, SpeedPoint};
+pub use speed::{
+    measure_kcps, measure_kcps_sweep, measure_sweep_speedup, measure_sweep_speedups, SpeedPoint,
+    SweepSpeedup,
+};
 pub use ssd::Ssd;

@@ -168,6 +168,20 @@ impl Probe for CompletionLog {
 /// DRAM back-pressure ledger, WAF carry, latency histogram, optional
 /// page-mapped FTL), while the borrowed platform holds the component
 /// models.
+///
+/// # Determinism
+///
+/// A session is fully deterministic: given the same configuration
+/// (including `config.seed`, from which every component RNG stream is
+/// forked) and the same command stream, `step`-ing in any granularity —
+/// one command at a time, in [`run_until`](Self::run_until) slices, or
+/// straight to [`finish`](Self::finish) — produces the same
+/// [`CommandRecord`]s and a byte-identical [`PerfReport`]. Neither wall
+/// clock nor thread identity ever enters the simulation, which is what lets
+/// the [`ParallelExecutor`](crate::ParallelExecutor) run whole sessions on
+/// worker threads without changing any result. The full platform-wide
+/// contract (seeding rules, per-point derivation, parallel byte-identity)
+/// is documented once, on [`Explorer`](crate::Explorer#determinism).
 #[must_use = "a session simulates nothing until stepped or finished"]
 pub struct SimSession<'a> {
     ssd: &'a mut Ssd,

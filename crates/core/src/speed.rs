@@ -1,4 +1,5 @@
-//! Simulation-speed metering (the paper's Fig. 6).
+//! Simulation-speed metering (the paper's Fig. 6) and sweep-speedup
+//! measurement for the parallel executor.
 //!
 //! The paper quantifies simulator performance in **Kilo-Cycles Per Second
 //! (KCPS)**: how many thousands of simulated controller-clock cycles the
@@ -7,11 +8,19 @@
 //! time span at the 200 MHz controller clock — so the qualitative trend
 //! (simulation speed scales inversely with the amount of instantiated
 //! resources) can be compared directly with the paper.
+//!
+//! [`measure_sweep_speedup`] extends the methodology one level up: it times
+//! the same [`Explorer`] sweep sequentially and through a
+//! [`ParallelExecutor`], verifies the two results are byte-identical, and
+//! reports the wall-clock speedup — the number the `experiments -- speedup`
+//! subcommand and the `fig7_parallel_speedup` bench record.
 
 use crate::config::SsdConfig;
+use crate::explorer::{Explorer, SweepError};
+use crate::parallel::ParallelExecutor;
 use crate::ssd::Ssd;
 use serde::{Deserialize, Serialize};
-use ssdx_hostif::Workload;
+use ssdx_hostif::{CommandSource, Workload};
 use ssdx_sim::Frequency;
 use std::time::Instant;
 
@@ -58,6 +67,113 @@ pub fn measure_kcps_sweep(configs: &[SsdConfig], workload: &Workload) -> Vec<Spe
     configs.iter().map(|c| measure_kcps(c, workload)).collect()
 }
 
+/// Result of one sequential-vs-parallel sweep timing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpeedup {
+    /// Number of sweep points evaluated by each run.
+    pub points: usize,
+    /// Worker threads the parallel run actually used (the configured count
+    /// clamped to the point count — more workers than points would idle).
+    pub threads: usize,
+    /// Wall-clock seconds of the sequential [`Explorer::run`].
+    pub sequential_seconds: f64,
+    /// Wall-clock seconds of the [`ParallelExecutor`] run.
+    pub parallel_seconds: f64,
+    /// `true` iff the two sweeps were byte-identical (always expected; a
+    /// `false` here is a determinism bug worth a report).
+    pub identical: bool,
+}
+
+impl SweepSpeedup {
+    /// Wall-clock speedup of the parallel run over the sequential one
+    /// (values above 1.0 mean the parallel run was faster).
+    pub fn speedup(&self) -> f64 {
+        self.sequential_seconds / self.parallel_seconds.max(1e-12)
+    }
+
+    /// One aligned summary row, used by the experiment drivers.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:>3} points, {:>2} threads: sequential {:>8.3} s, parallel {:>8.3} s, speedup {:>5.2}x{}",
+            self.points,
+            self.threads,
+            self.sequential_seconds,
+            self.parallel_seconds,
+            self.speedup(),
+            if self.identical { "" } else { "  [MISMATCH]" }
+        )
+    }
+}
+
+/// Times `explorer` once sequentially and once on a [`ParallelExecutor`]
+/// with `threads` workers, checking the two [`Sweep`](crate::Sweep)s are
+/// byte-identical.
+///
+/// Wall-clock speedup depends on the host machine (points ÷ threads cores
+/// must actually exist for the ideal factor); the byte-identity in
+/// [`SweepSpeedup::identical`] must hold everywhere. To compare several
+/// thread counts against one shared sequential baseline (saving the
+/// redundant sequential re-runs), use [`measure_sweep_speedups`].
+///
+/// # Errors
+///
+/// Propagates any [`SweepError`] from either run.
+pub fn measure_sweep_speedup<S>(
+    explorer: &Explorer,
+    source: &S,
+    threads: usize,
+) -> Result<SweepSpeedup, SweepError>
+where
+    S: CommandSource + Sync + ?Sized,
+{
+    let mut rows = measure_sweep_speedups(explorer, source, &[threads])?;
+    Ok(rows.pop().expect("one thread count yields one row"))
+}
+
+/// Times the sequential [`Explorer::run`] **once**, then one
+/// [`ParallelExecutor`] run per entry of `thread_counts`, returning one
+/// [`SweepSpeedup`] row per count — all sharing the single sequential
+/// baseline. Every parallel sweep is checked byte-identical against it.
+///
+/// # Errors
+///
+/// Propagates any [`SweepError`] from any run.
+pub fn measure_sweep_speedups<S>(
+    explorer: &Explorer,
+    source: &S,
+    thread_counts: &[usize],
+) -> Result<Vec<SweepSpeedup>, SweepError>
+where
+    S: CommandSource + Sync + ?Sized,
+{
+    // One untimed warm-up run so the timed sequential baseline is not
+    // penalised by cold allocator/page-cache state relative to the parallel
+    // rows that follow it (which would overstate the parallel win).
+    let _ = explorer.run(source)?;
+
+    let start = Instant::now();
+    let sequential = explorer.run(source)?;
+    let sequential_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let baseline = format!("{sequential:?}");
+
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let executor = ParallelExecutor::with_threads(threads);
+            let start = Instant::now();
+            let parallel = executor.run(explorer, source)?;
+            let parallel_seconds = start.elapsed().as_secs_f64().max(1e-9);
+            Ok(SweepSpeedup {
+                points: sequential.len(),
+                threads: executor.workers_for(sequential.len()),
+                sequential_seconds,
+                parallel_seconds,
+                identical: baseline == format!("{parallel:?}"),
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +210,40 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].config_name, "a");
         assert_eq!(points[1].total_dies, 8);
+    }
+
+    #[test]
+    fn sweep_speedup_verifies_byte_identity() {
+        use crate::explorer::Explorer;
+        let base = SsdConfig::builder("speedup")
+            .topology(2, 2, 1)
+            .dram_buffers(2)
+            .build()
+            .unwrap();
+        let explorer = Explorer::new(base).over(crate::explorer::Axis::over(
+            "seed",
+            [1u64, 2, 3, 4],
+            |cfg, &s| cfg.seed = s,
+        ));
+        let workload = Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(64)
+            .build();
+        let speedup = measure_sweep_speedup(&explorer, &workload, 2).unwrap();
+        assert!(speedup.identical, "parallel sweep must be byte-identical");
+        assert_eq!(speedup.points, 4);
+        assert_eq!(speedup.threads, 2);
+        assert!(speedup.sequential_seconds > 0.0);
+        assert!(speedup.parallel_seconds > 0.0);
+        assert!(speedup.speedup() > 0.0);
+        assert!(speedup.summary_line().contains("speedup"));
+        assert!(!speedup.summary_line().contains("MISMATCH"));
+
+        // The multi-count meter times the sequential baseline exactly once
+        // and shares it across every row.
+        let rows = measure_sweep_speedups(&explorer, &workload, &[1, 2]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].sequential_seconds, rows[1].sequential_seconds);
+        assert!(rows.iter().all(|r| r.identical));
+        assert_eq!(rows[1].threads, 2);
     }
 }

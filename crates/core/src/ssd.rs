@@ -42,6 +42,12 @@ use std::collections::BinaryHeap;
 
 /// The assembled SSD virtual platform.
 ///
+/// The platform is `Send` (all component models are plain data and
+/// [`HostInterface`] requires `Send + Sync`), so a
+/// [`ParallelExecutor`](crate::ParallelExecutor) worker can build and drive
+/// a whole `Ssd` per sweep point; the `parallel` module's tests pin this at
+/// compile time.
+///
 /// # Example
 ///
 /// ```

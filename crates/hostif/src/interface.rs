@@ -19,7 +19,12 @@ pub enum HostInterfaceKind {
 /// The SSD model is interface-agnostic: it only needs the link occupancy of
 /// a transfer, the per-command protocol overhead, and the command-window
 /// depth that bounds how many commands may be outstanding inside the device.
-pub trait HostInterface {
+///
+/// The trait requires `Send + Sync` so a boxed interface — and therefore the
+/// whole platform holding it — can be constructed and driven on a worker
+/// thread of a parallel sweep executor. Interface models are timing
+/// calculators over plain data, so the bound costs implementors nothing.
+pub trait HostInterface: Send + Sync {
     /// Which interface this is.
     fn kind(&self) -> HostInterfaceKind;
 

@@ -67,6 +67,18 @@ pub fn estimate_random_write_fraction(commands: &[HostCommand]) -> f64 {
 /// [`FnSource`] (closure generators); users can implement it for their own
 /// drivers. The trait is object safe, so heterogeneous collections of
 /// sources (`Vec<Box<dyn CommandSource>>`) work too.
+///
+/// # Thread safety
+///
+/// The trait deliberately does not require `Send`/`Sync`: a single-threaded
+/// driver may wrap a `RefCell` or an open file handle. Parallel sweep
+/// executors instead take `S: CommandSource + Sync` at the call site,
+/// because one source is shared **by reference** across worker threads and
+/// materialised once per sweep point. All sources shipped here are
+/// `Send + Sync` plain data (closure generators are as thread-safe as the
+/// closure they wrap), which the test suite pins at compile time; a
+/// stateful source that cannot be `Sync` can always pre-materialise into a
+/// [`CommandStream`].
 pub trait CommandSource {
     /// Short label used in performance reports (e.g. "SW", "trace").
     fn label(&self) -> String;
@@ -385,6 +397,20 @@ mod tests {
         let boxed: Box<dyn CommandSource> = Box::new(w);
         assert_eq!(boxed.commands().len(), 4);
         assert_eq!(boxed.label(), "SW");
+    }
+
+    #[test]
+    fn shipped_sources_are_thread_safe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Workload>();
+        assert_send_sync::<TracePlayer>();
+        assert_send_sync::<CommandStream>();
+        assert_send_sync::<HostCommand>();
+        // Closure sources inherit the closure's thread safety.
+        fn fn_source_is_send_sync<F: Fn(u64) -> HostCommand + Send + Sync>(s: FnSource<F>) -> impl Send + Sync {
+            s
+        }
+        let _ = fn_source_is_send_sync(source_fn("t", 1, |i| write(i, 0)));
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! statistics ([`stats`]), and a small deterministic random number generator
 //! ([`rng::SimRng`]) so that simulations are reproducible.
 //!
+//! Every primitive is thread-safe by construction — plain data with no
+//! interior mutability, no globals, no thread-locals — so a whole platform
+//! built from them is `Send` and can be constructed and driven on a worker
+//! thread of a parallel sweep executor. A compile-time test pins
+//! [`Scheduler`], [`SimRng`](rng::SimRng), [`Resource`] and
+//! [`RoundRobinArbiter`] as `Send + Sync`.
+//!
 //! # Example
 //!
 //! ```
@@ -38,3 +45,31 @@ pub use event::{Event, EventId};
 pub use resource::{Grant, MultiResource, Resource};
 pub use scheduler::Scheduler;
 pub use time::{Frequency, SimTime};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// The kernel's thread-safety contract, pinned at compile time: every
+    /// primitive the parallel sweep executor moves to (or shares with) a
+    /// worker thread must be `Send`/`Sync`. A regression here (e.g. an `Rc`
+    /// or `RefCell` slipping into a model) fails this test at compile time.
+    #[test]
+    fn kernel_primitives_are_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<SimTime>();
+        assert_sync::<SimTime>();
+        assert_send::<rng::SimRng>();
+        assert_sync::<rng::SimRng>();
+        assert_send::<Resource>();
+        assert_sync::<Resource>();
+        assert_send::<MultiResource>();
+        assert_send::<RoundRobinArbiter>();
+        assert_sync::<RoundRobinArbiter>();
+        assert_send::<Scheduler<u64>>();
+        assert_sync::<Scheduler<u64>>();
+        assert_send::<stats::LatencyHistogram>();
+        assert_sync::<stats::LatencyHistogram>();
+    }
+}

@@ -8,6 +8,13 @@
 
 /// A deterministic SplitMix64 pseudo-random number generator.
 ///
+/// The generator is a single `u64` of state — `Send + Sync` by
+/// construction — and every component stream is [`fork`](Self::fork)ed from
+/// a configuration seed rather than drawn from a global or thread-local
+/// source. That is what makes simulations reproducible across thread
+/// placements: a platform built on a parallel-sweep worker draws exactly
+/// the sequences it would draw on the main thread.
+///
 /// # Example
 ///
 /// ```
