@@ -1,0 +1,10 @@
+//! Test-only crate: its integration suite installs a counting global
+//! allocator (see `tests/step_allocations.rs`) to pin the simulator's
+//! zero-allocations-per-step property. Nothing here is part of the
+//! platform's public API.
+//!
+//! This is the single workspace crate that allows `unsafe` (implementing
+//! `std::alloc::GlobalAlloc` requires it); every production crate keeps the
+//! workspace-wide `unsafe_code = "forbid"`.
+
+#![warn(missing_docs)]

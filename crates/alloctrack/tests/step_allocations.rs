@@ -1,0 +1,133 @@
+//! Pins the zero-allocation property of the simulation hot path: once a
+//! platform is warm (its lazily populated per-die wear maps have seen their
+//! working set), driving a `SimSession` command by command performs **zero
+//! heap allocations per step** — in the WAF-abstracted mode, in the
+//! page-mapped FTL mode (including garbage collection, which runs on the
+//! FTL's reusable relocation buffer), and with a capacity-reserved probe
+//! attached.
+//!
+//! This file is its own test binary so it can install a counting global
+//! allocator without affecting any other suite.
+
+use ssdx_core::{CompletionLog, FtlMode, Ssd, SsdConfig};
+use ssdx_hostif::{AccessPattern, Workload};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn workload(pattern: AccessPattern, commands: u64) -> Workload {
+    Workload::builder(pattern)
+        .command_count(commands)
+        .footprint_bytes(4 << 20)
+        .build()
+}
+
+fn config(name: &str) -> ssdx_core::SsdConfigBuilder {
+    SsdConfig::builder(name)
+        .topology(4, 2, 2)
+        .dram_buffers(4)
+        .dram_buffer_capacity(256 * 1024)
+}
+
+/// Runs `w` twice on `ssd` (the first run warms the lazily populated wear
+/// maps) and returns the number of heap allocations performed by the second
+/// run's `step` loop.
+fn allocations_during_steps(ssd: &mut Ssd, w: &Workload) -> u64 {
+    let warm = ssd.session(w).finish();
+    assert!(warm.commands > 0);
+
+    let mut session = ssd.session(w);
+    let before = allocations();
+    while session.step().is_some() {}
+    let after = allocations();
+    // `finish` after the measurement window (report construction owns
+    // strings and is not part of the per-command hot path).
+    let report = session.finish();
+    assert_eq!(report.commands, w.command_count);
+    after - before
+}
+
+#[test]
+fn stepping_a_warm_session_never_allocates() {
+    // WAF-abstracted mode, writes (DRAM back-pressure ledger + protocol
+    // window active) and reads (ECC decode path active).
+    for pattern in [
+        AccessPattern::SequentialWrite,
+        AccessPattern::RandomWrite,
+        AccessPattern::SequentialRead,
+    ] {
+        let mut ssd = Ssd::new(config("waf-alloc").build().unwrap());
+        let w = workload(pattern, 384);
+        let allocs = allocations_during_steps(&mut ssd, &w);
+        assert_eq!(
+            allocs, 0,
+            "{pattern:?}: step loop allocated {allocs} times on a warm platform"
+        );
+    }
+
+    // Page-mapped FTL mode with enough random overwrites to trigger garbage
+    // collection: relocations must run on the FTL's reusable buffer.
+    let mut ssd = Ssd::new(
+        config("pm-alloc")
+            .ftl_mode(FtlMode::PageMapped)
+            .over_provisioning(0.25)
+            .build()
+            .unwrap(),
+    );
+    let w = Workload::builder(AccessPattern::RandomWrite)
+        .command_count(1_200)
+        .footprint_bytes(2 << 20)
+        .build();
+    let allocs = allocations_during_steps(&mut ssd, &w);
+    assert_eq!(
+        allocs, 0,
+        "page-mapped step loop allocated {allocs} times on a warm platform"
+    );
+
+    // A capacity-reserved probe observes every record without allocating.
+    let mut ssd = Ssd::new(config("probe-alloc").build().unwrap());
+    let w = workload(AccessPattern::SequentialWrite, 256);
+    let _ = ssd.session(&w).finish();
+    let mut log = CompletionLog::with_capacity(256, 16);
+    let mut session = ssd.session(&w);
+    session.attach(&mut log);
+    session.sample_every(64);
+    let before = allocations();
+    while session.step().is_some() {}
+    let after = allocations();
+    drop(session);
+    assert_eq!(log.records().len(), 256);
+    assert_eq!(log.snapshots().len(), 4);
+    assert_eq!(
+        after - before,
+        0,
+        "probed step loop allocated {} times",
+        after - before
+    );
+}

@@ -33,12 +33,18 @@ fn print_series() {
     println!("way gang interconnection (sequential write):");
     print_throughput(
         "shared-bus gang",
-        base_config("gang-sb").gang(GangMode::SharedBus).build().unwrap(),
+        base_config("gang-sb")
+            .gang(GangMode::SharedBus)
+            .build()
+            .unwrap(),
         AccessPattern::SequentialWrite,
     );
     print_throughput(
         "shared-control gang",
-        base_config("gang-sc").gang(GangMode::SharedControl).build().unwrap(),
+        base_config("gang-sc")
+            .gang(GangMode::SharedControl)
+            .build()
+            .unwrap(),
         AccessPattern::SequentialWrite,
     );
 

@@ -16,7 +16,11 @@ fn print_series() {
     let mut ssd = Ssd::new(ocz_vertex_like());
     for pattern in AccessPattern::all() {
         let report = ssd.simulate(&bench_workload(pattern, 16_384));
-        println!("{:<4} {:>8.1} MB/s", pattern.label(), report.throughput_mbps);
+        println!(
+            "{:<4} {:>8.1} MB/s",
+            pattern.label(),
+            report.throughput_mbps
+        );
     }
     println!();
 }

@@ -37,10 +37,14 @@ fn bench(c: &mut Criterion) {
         if !matches!(cfg.name.as_str(), "C1" | "C6" | "C10") {
             continue;
         }
-        group.bench_with_input(BenchmarkId::new("sata2_cache", &cfg.name), &cfg, |b, cfg| {
-            let mut ssd = Ssd::new(cfg.clone());
-            b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sata2_cache", &cfg.name),
+            &cfg,
+            |b, cfg| {
+                let mut ssd = Ssd::new(cfg.clone());
+                b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
+            },
+        );
     }
     group.finish();
 }

@@ -45,10 +45,14 @@ fn bench(c: &mut Criterion) {
         let mut cfg = base;
         cfg.host_interface = HostInterfaceConfig::nvme_gen2_x8();
         cfg.cache_policy = CachePolicy::NoCache;
-        group.bench_with_input(BenchmarkId::new("nvme_no_cache", &cfg.name), &cfg, |b, cfg| {
-            let mut ssd = Ssd::new(cfg.clone());
-            b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nvme_no_cache", &cfg.name),
+            &cfg,
+            |b, cfg| {
+                let mut ssd = Ssd::new(cfg.clone());
+                b.iter(|| black_box(ssd.simulate(&workload).throughput_mbps));
+            },
+        );
     }
     group.finish();
 }

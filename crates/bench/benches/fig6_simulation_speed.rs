@@ -16,7 +16,10 @@ fn print_series() {
     let configs: Vec<SsdConfig> = table3_configs().into_iter().map(steady_state).collect();
     let workload = sequential_write_workload(4_096);
     let points = speed::measure_kcps_sweep(&configs, &workload);
-    println!("{:<6} {:<34} {:>14} {:>10}", "config", "architecture", "KCPS", "MB/s");
+    println!(
+        "{:<6} {:<34} {:>14} {:>10}",
+        "config", "architecture", "KCPS", "MB/s"
+    );
     for p in &points {
         println!(
             "{:<6} {:<34} {:>14.1} {:>10.1}",

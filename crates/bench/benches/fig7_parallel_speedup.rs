@@ -19,7 +19,9 @@ use std::hint::black_box;
 const SWEEP_COMMANDS: u64 = 2_048;
 
 fn print_series() {
-    println!("\n=== Fig. 7: parallel sweep speedup (8-point sweep, {SWEEP_COMMANDS} commands/point) ===");
+    println!(
+        "\n=== Fig. 7: parallel sweep speedup (8-point sweep, {SWEEP_COMMANDS} commands/point) ==="
+    );
     print_speedup_series(SWEEP_COMMANDS);
     println!();
 }
@@ -40,7 +42,12 @@ fn bench(c: &mut Criterion) {
             |b, &threads| {
                 let executor = ParallelExecutor::with_threads(threads);
                 b.iter(|| {
-                    black_box(executor.run(&explorer, &workload).expect("valid sweep").len())
+                    black_box(
+                        executor
+                            .run(&explorer, &workload)
+                            .expect("valid sweep")
+                            .len(),
+                    )
                 })
             },
         );

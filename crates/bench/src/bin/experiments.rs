@@ -1,15 +1,29 @@
 //! Regenerates every table and figure of the SSDExplorer paper's evaluation.
 //!
-//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|speedup|tables]`.
-//! Results are printed as aligned text tables; EXPERIMENTS.md records the
-//! values measured on the reference machine next to the paper's own numbers.
+//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|speed|speedup|tables]`.
+//! Results are printed as aligned text tables; every section renders into
+//! one shared `fmt::Write` buffer that is printed (and reused) per section,
+//! so table formatting never allocates a `String` per cell.
+//!
+//! The `speed` subcommand is the simulation-speed measurement suite:
+//!
+//! * `speed` — human-readable table of the fig6-style baseline;
+//! * `speed --json` — machine-readable `BENCH_speed.json` emission on
+//!   stdout (what CI uploads as an artifact);
+//! * `speed --gate <path>` — regression gate: re-measures and exits
+//!   non-zero if commands/sec dropped more than 25 % below the committed
+//!   baseline at `<path>`. Skips gracefully on 1-core runners and when
+//!   `SSDX_SPEED_GATE=skip` is set (cold caches make the numbers
+//!   meaningless).
 
 use ssdx_core::configs::{fig5_config, ocz_vertex_like, table2_configs, table3_configs};
 use ssdx_core::{
-    explorer, speed, CachePolicy, HostInterfaceConfig, ParallelExecutor, Ssd, SsdConfig,
+    explorer, speed, CachePolicy, HostInterfaceConfig, ParallelExecutor, SpeedBaseline, Ssd,
+    SsdConfig,
 };
 use ssdx_ecc::EccScheme;
 use ssdx_hostif::{AccessPattern, Workload};
+use std::fmt::Write as _;
 
 /// Paper-reported throughput of the OCZ Vertex 120 GB (values read from
 /// Fig. 2 of the paper; the figure is plotted, not tabulated, so these are
@@ -20,6 +34,14 @@ const OCZ_REFERENCE_MBPS: [(AccessPattern, f64); 4] = [
     (AccessPattern::RandomWrite, 22.0),
     (AccessPattern::RandomRead, 145.0),
 ];
+
+/// Commands per configuration for the speed suite (same sizing as the fig6
+/// bench targets).
+const SPEED_COMMANDS: u64 = 8_192;
+/// Timed repeats per configuration in the speed suite (fastest kept).
+const SPEED_REPEATS: u32 = 3;
+/// The gate fails when commands/sec drops below this fraction of baseline.
+const SPEED_GATE_FLOOR: f64 = 0.75;
 
 fn fig2_commands() -> u64 {
     // 1 GiB of 4 KB commands: large enough that the 64 MB write cache of the
@@ -46,13 +68,32 @@ fn steady_state(mut cfg: SsdConfig) -> SsdConfig {
     cfg
 }
 
-fn fig2_validation() {
-    println!("==============================================================");
-    println!("Fig. 2 — validation against the OCZ Vertex 120 GB (SATA II)");
-    println!("==============================================================");
+fn section(out: &mut String, title: &str) {
+    let _ = writeln!(
+        out,
+        "=============================================================="
+    );
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "=============================================================="
+    );
+}
+
+fn fig2_validation(out: &mut String) {
+    section(
+        out,
+        "Fig. 2 — validation against the OCZ Vertex 120 GB (SATA II)",
+    );
     let config = ocz_vertex_like();
-    println!("configuration: {} ({})\n", config.name, config.architecture_label());
-    println!(
+    let _ = writeln!(
+        out,
+        "configuration: {} ({})\n",
+        config.name,
+        config.architecture_label()
+    );
+    let _ = writeln!(
+        out,
         "{:<18} {:>14} {:>14} {:>8}",
         "workload", "SSDExplorer", "OCZ Vertex", "error"
     );
@@ -64,48 +105,51 @@ fn fig2_validation() {
             .build();
         let report = ssd.simulate(&workload);
         let error = (report.throughput_mbps - reference).abs() / reference * 100.0;
-        println!(
-            "{:<18} {:>9.1} MB/s {:>9.1} MB/s {:>7.1}%",
-            format!("{} ({})", pattern.label(), report.policy),
-            report.throughput_mbps,
-            reference,
-            error
+        // Width specifiers need a sized Display value, so the composite
+        // label is the one small per-row string this driver still builds
+        // (four rows total — not a hot path).
+        let label = format!("{} ({})", pattern.label(), report.policy);
+        let _ = writeln!(
+            out,
+            "{label:<18} {:>9.1} MB/s {:>9.1} MB/s {:>7.1}%",
+            report.throughput_mbps, reference, error
         );
     }
-    println!();
+    let _ = writeln!(out);
 }
 
-fn print_table2() {
-    println!("==============================================================");
-    println!("Table II — SSD configurations for the design-point search");
-    println!("==============================================================");
+fn print_table2(out: &mut String) {
+    section(
+        out,
+        "Table II — SSD configurations for the design-point search",
+    );
     for c in table2_configs() {
-        println!("{:<5} {}", c.name, c.architecture_label());
+        let _ = writeln!(out, "{:<5} {}", c.name, c.architecture_label());
     }
-    println!();
+    let _ = writeln!(out);
 }
 
-fn print_table3() {
-    println!("==============================================================");
-    println!("Table III — SSD configurations for the simulation-speed study");
-    println!("==============================================================");
+fn print_table3(out: &mut String) {
+    section(
+        out,
+        "Table III — SSD configurations for the simulation-speed study",
+    );
     for c in table3_configs() {
-        println!("{:<5} {}", c.name, c.architecture_label());
+        let _ = writeln!(out, "{:<5} {}", c.name, c.architecture_label());
     }
-    println!();
+    let _ = writeln!(out);
 }
 
-fn fig3_sata_sweep() {
-    println!("==============================================================");
-    println!("Fig. 3 — Sequential Write, SATA II host interface");
-    println!("==============================================================");
+fn fig3_sata_sweep(out: &mut String) {
+    section(out, "Fig. 3 — Sequential Write, SATA II host interface");
     let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
     let sweep =
         explorer::host_interface_study(HostInterfaceConfig::Sata2, &configs, &sweep_workload())
             .expect("table configurations validate");
-    print!("{}", sweep.to_table());
+    out.push_str(&sweep.to_table());
     if let Some(best) = sweep.optimal_design_point(0.95) {
-        println!(
+        let _ = writeln!(
+            out,
             "optimal design point (cache policy): {} ({} dies)",
             best.config_name, best.total_dies
         );
@@ -114,17 +158,19 @@ fn fig3_sata_sweep() {
         .points
         .iter()
         .min_by_key(|p| p.total_dies)
-        .map(|p| p.config_name.clone())
+        .map(|p| p.config_name.as_str())
         .unwrap_or_default();
-    println!(
+    let _ = writeln!(
+        out,
         "no-cache policy: throughput flattens across all configurations, so the search falls on {no_cache_best}\n"
     );
 }
 
-fn fig4_pcie_sweep() {
-    println!("==============================================================");
-    println!("Fig. 4 — Sequential Write, PCIe Gen2 x8 + NVMe host interface");
-    println!("==============================================================");
+fn fig4_pcie_sweep(out: &mut String) {
+    section(
+        out,
+        "Fig. 4 — Sequential Write, PCIe Gen2 x8 + NVMe host interface",
+    );
     let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
     let sweep = explorer::host_interface_study(
         HostInterfaceConfig::nvme_gen2_x8(),
@@ -132,98 +178,110 @@ fn fig4_pcie_sweep() {
         &sweep_workload(),
     )
     .expect("table configurations validate");
-    print!("{}", sweep.to_table());
+    out.push_str(&sweep.to_table());
     let saturating = sweep.saturating_points(0.95);
-    println!(
-        "configurations saturating the PCIe interface: {}",
-        if saturating.is_empty() {
-            "none (the host interface is no longer the bottleneck)".to_string()
-        } else {
-            saturating
-                .iter()
-                .map(|p| p.config_name.as_str())
-                .collect::<Vec<_>>()
-                .join(", ")
+    let _ = write!(out, "configurations saturating the PCIe interface: ");
+    if saturating.is_empty() {
+        let _ = writeln!(out, "none (the host interface is no longer the bottleneck)");
+    } else {
+        for (i, p) in saturating.iter().enumerate() {
+            let _ = write!(out, "{}{}", if i > 0 { ", " } else { "" }, p.config_name);
         }
-    );
+        let _ = writeln!(out);
+    }
     // With NVMe the no-cache columns track the cached ones and the host
     // interface stops being the bottleneck, so the search is driven by the
     // hardware cost: report the Pareto front of throughput vs controller
     // resources (channels + DRAM buffers).
     let front = sweep.pareto_front();
-    println!("performance/cost Pareto front (throughput vs channels+buffers):");
+    let _ = writeln!(
+        out,
+        "performance/cost Pareto front (throughput vs channels+buffers):"
+    );
     for p in &front {
-        println!(
+        let _ = writeln!(
+            out,
             "  {:<4} {:>7.1} MB/s with {:>2} channels, {:>2} buffers, {:>4} dies",
             p.config_name, p.ssd_cache_mbps, p.channels, p.dram_buffers, p.total_dies
         );
     }
-    println!();
+    let _ = writeln!(out);
 }
 
-fn fig5_wearout() {
-    println!("==============================================================");
-    println!("Fig. 5 — throughput vs normalized rated endurance (4-CHN/2-WAY/4-DIE)");
-    println!("==============================================================");
+fn fig5_wearout(out: &mut String) {
+    section(
+        out,
+        "Fig. 5 — throughput vs normalized rated endurance (4-CHN/2-WAY/4-DIE)",
+    );
     let endurance: Vec<f64> = (0..=5).map(|i| i as f64 * 0.2).collect();
     let base = fig5_config(EccScheme::fixed_bch(40));
     let fixed = explorer::wearout_study(&base, EccScheme::fixed_bch(40), &endurance, 8_192)
         .expect("fig5 configuration validates");
     let adaptive = explorer::wearout_study(&base, EccScheme::adaptive_bch(40), &endurance, 8_192)
         .expect("fig5 configuration validates");
-    println!(
+    let _ = writeln!(
+        out,
         "{:>10} {:>16} {:>16} {:>17} {:>17}",
         "endurance", "fixed BCH read", "adapt BCH read", "fixed BCH write", "adapt BCH write"
     );
     for (f, a) in fixed.iter().zip(&adaptive) {
-        println!(
+        let _ = writeln!(
+            out,
             "{:>10.1} {:>11.1} MB/s {:>11.1} MB/s {:>12.1} MB/s {:>12.1} MB/s",
             f.normalized_endurance, f.read_mbps, a.read_mbps, f.write_mbps, a.write_mbps
         );
     }
-    println!();
+    let _ = writeln!(out);
 }
 
-fn fig6_simulation_speed() {
-    println!("==============================================================");
-    println!("Fig. 6 — simulation speed (KCPS) across the Table III configurations");
-    println!("==============================================================");
+fn fig6_simulation_speed(out: &mut String) {
+    section(
+        out,
+        "Fig. 6 — simulation speed (KCPS) across the Table III configurations",
+    );
     let workload = Workload::builder(AccessPattern::SequentialWrite)
         .command_count(8_192)
         .build();
     let configs: Vec<SsdConfig> = table3_configs().into_iter().map(steady_state).collect();
     let points = speed::measure_kcps_sweep(&configs, &workload);
-    println!(
+    let _ = writeln!(
+        out,
         "{:<6} {:<34} {:>10} {:>12} {:>12}",
         "config", "architecture", "KCPS", "wall (s)", "MB/s"
     );
     for p in &points {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<6} {:<34} {:>10.1} {:>12.3} {:>12.1}",
             p.config_name, p.architecture, p.kcps, p.wall_seconds, p.throughput_mbps
         );
     }
-    println!();
+    let _ = writeln!(out);
 }
 
-fn parallel_speedup() {
-    println!("==============================================================");
-    println!("Parallel sweep speedup — sequential Explorer vs ParallelExecutor");
-    println!("==============================================================");
+fn parallel_speedup(out: &mut String) {
+    section(
+        out,
+        "Parallel sweep speedup — sequential Explorer vs ParallelExecutor",
+    );
     let machine = ParallelExecutor::new().threads();
-    println!(
+    let _ = writeln!(
+        out,
         "8-point sweep (channels x cache x seed), {} commands per point; \
          this machine exposes {machine} hardware thread(s)\n",
         sweep_commands() / 4
     );
+    print!("{out}");
+    out.clear();
     ssdx_bench::print_speedup_series(sweep_commands() / 4);
-    println!(
+    let _ = writeln!(
+        out,
         "\n(every row is verified byte-identical to the sequential sweep; \
          wall-clock speedup requires the hardware threads to exist)\n"
     );
 }
 
-fn cache_policy_note() {
+fn cache_policy_note(out: &mut String) {
     // Small sanity print showing the two DRAM-buffer policies side by side on
     // the default platform, mirroring the discussion in Section IV-A.
     let workload = sweep_workload();
@@ -231,34 +289,126 @@ fn cache_policy_note() {
         let mut cfg = steady_state(table2_configs().remove(5));
         cfg.cache_policy = policy;
         let report = Ssd::new(cfg).simulate(&workload);
-        println!("{}", report.summary_line());
+        let _ = writeln!(out, "{}", report.summary_line());
     }
-    println!();
+    let _ = writeln!(out);
+}
+
+/// The simulation-speed suite: measure the fig6-style baseline, then emit
+/// it (`--json`), print it, or gate against a committed baseline
+/// (`--gate <path>`). Returns the process exit code.
+fn speed_suite(args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1));
+
+    // Graceful gate skips — the measurement and the JSON emission still run
+    // (CI uploads them as an artifact either way), only the pass/fail
+    // comparison is suppressed: a 1-core runner cannot produce comparable
+    // numbers (the committed baseline includes a parallel leg), and an
+    // explicit skip env covers cold-cache runs where timing is dominated by
+    // I/O. `SSDX_SPEED_GATE=force` runs the comparison regardless.
+    let gate_skip = if gate_path.is_some() {
+        let mode = std::env::var("SSDX_SPEED_GATE").unwrap_or_default();
+        if mode == "skip" {
+            Some("SSDX_SPEED_GATE=skip — e.g. cold cache")
+        } else if mode != "force" && ParallelExecutor::new().threads() < 2 {
+            Some("single hardware thread")
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let baseline = speed::measure_fig6_baseline(SPEED_COMMANDS, SPEED_REPEATS);
+
+    if json {
+        print!("{}", baseline.to_json());
+    } else {
+        let mut out = String::new();
+        section(
+            &mut out,
+            "Simulation-speed baseline (fig6 methodology, cmds/s)",
+        );
+        out.push_str(&baseline.to_table());
+        print!("{out}");
+    }
+
+    if let Some(reason) = gate_skip {
+        eprintln!("speed gate: skipped ({reason})");
+        return 0;
+    }
+    if let Some(path) = gate_path {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("speed gate: cannot read baseline {path}: {e}");
+                return 1;
+            }
+        };
+        let Some(reference) = SpeedBaseline::parse_geomean(&committed) else {
+            eprintln!("speed gate: no geomean_commands_per_sec field in {path}");
+            return 1;
+        };
+        let measured = baseline.geomean_commands_per_sec;
+        let floor = reference * SPEED_GATE_FLOOR;
+        eprintln!(
+            "speed gate: measured {measured:.0} cmds/s vs committed {reference:.0} \
+             (floor {floor:.0})"
+        );
+        if measured < floor {
+            eprintln!(
+                "speed gate: FAIL — simulation speed regressed more than {:.0}%",
+                (1.0 - SPEED_GATE_FLOOR) * 100.0
+            );
+            return 1;
+        }
+        eprintln!("speed gate: ok");
+    }
+    0
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match arg.as_str() {
-        "fig2" => fig2_validation(),
-        "fig3" => fig3_sata_sweep(),
-        "fig4" => fig4_pcie_sweep(),
-        "fig5" => fig5_wearout(),
-        "fig6" => fig6_simulation_speed(),
-        "speedup" => parallel_speedup(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args.first().map(String::as_str).unwrap_or("all");
+    // One shared render buffer for every section: printed and reused
+    // between sections, so the drivers format without per-cell allocations.
+    let mut out = String::with_capacity(4 * 1024);
+    match arg {
+        "fig2" => fig2_validation(&mut out),
+        "fig3" => fig3_sata_sweep(&mut out),
+        "fig4" => fig4_pcie_sweep(&mut out),
+        "fig5" => fig5_wearout(&mut out),
+        "fig6" => fig6_simulation_speed(&mut out),
+        "speed" => std::process::exit(speed_suite(&args[1..])),
+        "speedup" => parallel_speedup(&mut out),
         "tables" => {
-            print_table2();
-            print_table3();
+            print_table2(&mut out);
+            print_table3(&mut out);
         }
-        "policies" => cache_policy_note(),
+        "policies" => cache_policy_note(&mut out),
         _ => {
-            print_table2();
-            fig2_validation();
-            fig3_sata_sweep();
-            fig4_pcie_sweep();
-            fig5_wearout();
-            print_table3();
-            fig6_simulation_speed();
-            parallel_speedup();
+            // Full run: flush the shared buffer after each section so the
+            // output streams while the later (long) experiments still run.
+            let sections: [fn(&mut String); 8] = [
+                print_table2,
+                fig2_validation,
+                fig3_sata_sweep,
+                fig4_pcie_sweep,
+                fig5_wearout,
+                print_table3,
+                fig6_simulation_speed,
+                parallel_speedup,
+            ];
+            for render in sections {
+                render(&mut out);
+                print!("{out}");
+                out.clear();
+            }
         }
     }
+    print!("{out}");
 }

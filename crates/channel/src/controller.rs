@@ -73,6 +73,14 @@ pub struct ChannelController {
     ppdma: Resource,
     dies: Vec<Vec<NandDie>>,
     stats: ChannelStats,
+    /// ONFI command/address phase time, cached at construction.
+    command_time: SimTime,
+    /// ONFI erase-command phase time, cached at construction.
+    erase_command_time: SimTime,
+    /// One-entry `(bytes, (ppdma, onfi data))` transfer-time memo: within a
+    /// run, almost every operation moves the same raw page size, and each
+    /// recomputation costs two 128-bit divisions on the per-page hot path.
+    transfer_memo: (u32, (SimTime, SimTime)),
 }
 
 impl ChannelController {
@@ -98,13 +106,34 @@ impl ChannelController {
             .collect();
         ChannelController {
             id,
-            config,
             channel_bus: Resource::new(format!("chan{id}-onfi")),
             way_buses,
             ppdma: Resource::new(format!("chan{id}-ppdma")),
             dies,
             stats: ChannelStats::default(),
+            command_time: config.onfi.command_time(),
+            erase_command_time: config.onfi.erase_command_time(),
+            // Poisoned with a size no page operation uses (erases pass 0
+            // bytes but skip the data phase entirely).
+            transfer_memo: (u32::MAX, (SimTime::ZERO, SimTime::ZERO)),
+            config,
         }
+    }
+
+    /// PP-DMA and ONFI data-phase times for a `bytes`-sized transfer,
+    /// through the one-entry memo.
+    #[inline]
+    fn transfer_times(&mut self, bytes: u32) -> (SimTime, SimTime) {
+        if self.transfer_memo.0 != bytes {
+            self.transfer_memo = (
+                bytes,
+                (
+                    ssdx_sim::time::transfer_time(bytes as u64, self.config.ppdma_bandwidth),
+                    self.config.onfi.data_transfer_time(bytes as u64),
+                ),
+            );
+        }
+        self.transfer_memo.1
     }
 
     /// Channel identifier.
@@ -195,9 +224,15 @@ impl ChannelController {
     ) -> Result<ChannelOutcome, ChannelError> {
         // Validate indices up front.
         let _ = self.die(way, die)?;
-        let ppdma_time = ssdx_sim::time::transfer_time(bytes as u64, self.config.ppdma_bandwidth);
-        let command_time = self.config.onfi.command_time();
-        let data_time = self.config.onfi.data_transfer_time(bytes as u64);
+        // Erases have no data phase and always pass `bytes == 0`; computing
+        // transfer times only for the page operations keeps them from
+        // clobbering the one-entry memo between GC-interleaved programs.
+        let (ppdma_time, data_time) = if op.is_page_op() {
+            self.transfer_times(bytes)
+        } else {
+            (SimTime::ZERO, SimTime::ZERO)
+        };
+        let command_time = self.command_time;
 
         let outcome = match op {
             NandOp::Program => {
@@ -206,7 +241,9 @@ impl ChannelController {
                 // Command + data over the ONFI path of this way's gang.
                 let command_grant = match self.config.gang {
                     GangMode::SharedBus => None,
-                    GangMode::SharedControl => Some(self.channel_bus.reserve(dma.end, command_time)),
+                    GangMode::SharedControl => {
+                        Some(self.channel_bus.reserve(dma.end, command_time))
+                    }
                 };
                 let bus_start = command_grant.map(|g| g.end).unwrap_or(dma.end);
                 let bus_occupancy = match self.config.gang {
@@ -258,7 +295,7 @@ impl ChannelController {
                 }
             }
             NandOp::Erase => {
-                let cmd = self.channel_bus.reserve(at, self.config.onfi.erase_command_time());
+                let cmd = self.channel_bus.reserve(at, self.erase_command_time);
                 let die_ref = self
                     .dies
                     .get_mut(way as usize)
@@ -332,7 +369,11 @@ mod tests {
     use super::*;
 
     fn addr(block: u32, page: u32) -> PageAddr {
-        PageAddr { plane: 0, block, page }
+        PageAddr {
+            plane: 0,
+            block,
+            page,
+        }
     }
 
     fn controller(gang: GangMode) -> ChannelController {
@@ -418,7 +459,11 @@ mod tests {
                 .unwrap_err(),
             ChannelError::DieOutOfRange
         );
-        let bad = PageAddr { plane: 7, block: 0, page: 0 };
+        let bad = PageAddr {
+            plane: 7,
+            block: 0,
+            page: 0,
+        };
         assert_eq!(
             c.try_execute(SimTime::ZERO, 0, 0, NandOp::Read, bad, 4096)
                 .unwrap_err(),

@@ -124,12 +124,12 @@ impl CompressorConfig {
     pub fn build(&self) -> Option<CompressorModel> {
         match self {
             CompressorConfig::None => None,
-            CompressorConfig::HostSide => {
-                Some(CompressorModel::hardware_gzip(CompressorPlacement::HostSide))
-            }
-            CompressorConfig::ChannelSide => {
-                Some(CompressorModel::hardware_gzip(CompressorPlacement::ChannelSide))
-            }
+            CompressorConfig::HostSide => Some(CompressorModel::hardware_gzip(
+                CompressorPlacement::HostSide,
+            )),
+            CompressorConfig::ChannelSide => Some(CompressorModel::hardware_gzip(
+                CompressorPlacement::ChannelSide,
+            )),
         }
     }
 }
@@ -155,7 +155,9 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::ZeroDimension(what) => write!(f, "configuration field `{what}` must be non-zero"),
+            ConfigError::ZeroDimension(what) => {
+                write!(f, "configuration field `{what}` must be non-zero")
+            }
             ConfigError::UnknownKey(k) => write!(f, "unknown configuration key `{k}`"),
             ConfigError::BadValue { key, value } => {
                 write!(f, "invalid value `{value}` for configuration key `{key}`")
@@ -752,19 +754,31 @@ mod tests {
     #[test]
     fn zero_dimensions_are_rejected() {
         assert_eq!(
-            SsdConfig::builder("bad").topology(0, 1, 1).build().unwrap_err(),
+            SsdConfig::builder("bad")
+                .topology(0, 1, 1)
+                .build()
+                .unwrap_err(),
             ConfigError::ZeroDimension("channels")
         );
         assert_eq!(
-            SsdConfig::builder("bad").topology(1, 0, 1).build().unwrap_err(),
+            SsdConfig::builder("bad")
+                .topology(1, 0, 1)
+                .build()
+                .unwrap_err(),
             ConfigError::ZeroDimension("ways")
         );
         assert_eq!(
-            SsdConfig::builder("bad").topology(1, 1, 0).build().unwrap_err(),
+            SsdConfig::builder("bad")
+                .topology(1, 1, 0)
+                .build()
+                .unwrap_err(),
             ConfigError::ZeroDimension("dies_per_way")
         );
         assert_eq!(
-            SsdConfig::builder("bad").dram_buffers(0).build().unwrap_err(),
+            SsdConfig::builder("bad")
+                .dram_buffers(0)
+                .build()
+                .unwrap_err(),
             ConfigError::ZeroDimension("dram_buffers")
         );
     }
@@ -840,7 +854,9 @@ mod tests {
             HostInterfaceConfig::nvme_gen2_x8().build().queue_depth(),
             65_536
         );
-        assert!(HostInterfaceConfig::Sata3.build().ideal_bandwidth()
-            > HostInterfaceConfig::Sata2.build().ideal_bandwidth());
+        assert!(
+            HostInterfaceConfig::Sata3.build().ideal_bandwidth()
+                > HostInterfaceConfig::Sata2.build().ideal_bandwidth()
+        );
     }
 }

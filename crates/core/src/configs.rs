@@ -94,9 +94,18 @@ mod tests {
     fn table2_matches_the_paper() {
         let configs = table2_configs();
         assert_eq!(configs.len(), 10);
-        assert_eq!(configs[0].architecture_label(), "4-DDR-buf;4-CHN;4-WAY;2-DIE");
-        assert_eq!(configs[5].architecture_label(), "16-DDR-buf;16-CHN;8-WAY;4-DIE");
-        assert_eq!(configs[8].architecture_label(), "32-DDR-buf;32-CHN;1-WAY;1-DIE");
+        assert_eq!(
+            configs[0].architecture_label(),
+            "4-DDR-buf;4-CHN;4-WAY;2-DIE"
+        );
+        assert_eq!(
+            configs[5].architecture_label(),
+            "16-DDR-buf;16-CHN;8-WAY;4-DIE"
+        );
+        assert_eq!(
+            configs[8].architecture_label(),
+            "32-DDR-buf;32-CHN;1-WAY;1-DIE"
+        );
         assert_eq!(configs[9].total_dies(), 32 * 8 * 4);
         for c in &configs {
             assert!(c.validate().is_ok());
@@ -108,7 +117,10 @@ mod tests {
         let configs = table3_configs();
         assert_eq!(configs.len(), 8);
         assert_eq!(configs[0].total_dies(), 1);
-        assert_eq!(configs[7].architecture_label(), "32-DDR-buf;32-CHN;16-WAY;16-DIE");
+        assert_eq!(
+            configs[7].architecture_label(),
+            "32-DDR-buf;32-CHN;16-WAY;16-DIE"
+        );
         assert_eq!(configs[7].total_dies(), 8192);
     }
 

@@ -112,7 +112,10 @@ pub struct Axis {
 impl Axis {
     /// Creates an empty axis with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Axis { name: name.into(), points: Vec::new() }
+        Axis {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The axis name, as reported in [`SweepPoint::coordinates`].
@@ -164,7 +167,11 @@ impl Axis {
     /// Builds an axis from a list of values and one shared mutator: each
     /// point is labelled with the value's `Display` form and applies
     /// `apply(config, &value)`.
-    pub fn over<T, F>(name: impl Into<String>, values: impl IntoIterator<Item = T>, apply: F) -> Self
+    pub fn over<T, F>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = T>,
+        apply: F,
+    ) -> Self
     where
         T: fmt::Display + Send + Sync + 'static,
         F: Fn(&mut SsdConfig, &T) + Send + Sync + 'static,
@@ -196,7 +203,10 @@ impl fmt::Debug for Axis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Axis")
             .field("name", &self.name)
-            .field("points", &self.points.iter().map(|p| &p.label).collect::<Vec<_>>())
+            .field(
+                "points",
+                &self.points.iter().map(|p| &p.label).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -249,9 +259,11 @@ impl SweepJob {
     /// Returns [`SweepError::InvalidPoint`] if the configuration does not
     /// validate.
     pub fn execute<S: CommandSource + ?Sized>(&self, source: &S) -> Result<SweepPoint, SweepError> {
-        let mut ssd = Ssd::try_new(self.config.clone()).map_err(|error| {
-            SweepError::InvalidPoint { point: self.point_label(), error }
-        })?;
+        let mut ssd =
+            Ssd::try_new(self.config.clone()).map_err(|error| SweepError::InvalidPoint {
+                point: self.point_label(),
+                error,
+            })?;
         for hook in &self.prepare {
             hook(&mut ssd);
         }
@@ -356,20 +368,27 @@ impl Sweep {
     }
 
     /// Formats the sweep as an aligned text table (one row per point).
+    ///
+    /// Every row is written straight into one shared buffer through
+    /// `fmt::Write` — no intermediate `String` per cell or per row (the
+    /// exact rendering is pinned by a unit test).
     pub fn to_table(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{:<40} {:>12} {:>12} {:>12}\n",
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + self.points.len() * 80);
+        let _ = writeln!(
+            out,
+            "{:<40} {:>12} {:>12} {:>12}",
             "point", "MB/s", "IOPS", "mean lat"
-        ));
+        );
         for p in &self.points {
-            out.push_str(&format!(
-                "{:<40} {:>12.1} {:>12.0} {:>12}\n",
+            let _ = writeln!(
+                out,
+                "{:<40} {:>12.1} {:>12.0} {:>12}",
                 p.label(),
                 p.report.throughput_mbps,
                 p.report.iops,
                 p.report.mean_latency()
-            ));
+            );
         }
         out
     }
@@ -415,7 +434,10 @@ impl Explorer {
     /// Starts a sweep from the given base configuration. With no axes, the
     /// sweep evaluates exactly the base.
     pub fn new(base: SsdConfig) -> Self {
-        Explorer { base, axes: Vec::new() }
+        Explorer {
+            base,
+            axes: Vec::new(),
+        }
     }
 
     /// Adds a swept dimension.
@@ -473,16 +495,22 @@ impl Explorer {
                     if let Some(hook) = &point.prepare {
                         prepare.push(Arc::clone(hook));
                     }
-                    next.push(SweepJob { coordinates, config, prepare });
+                    next.push(SweepJob {
+                        coordinates,
+                        config,
+                        prepare,
+                    });
                 }
             }
             jobs = next;
         }
         for job in &jobs {
-            job.config.validate().map_err(|error| SweepError::InvalidPoint {
-                point: job.point_label(),
-                error,
-            })?;
+            job.config
+                .validate()
+                .map_err(|error| SweepError::InvalidPoint {
+                    point: job.point_label(),
+                    error,
+                })?;
         }
         Ok(jobs)
     }
@@ -505,7 +533,10 @@ impl Explorer {
         for job in &jobs {
             points.push(job.execute(source)?);
         }
-        Ok(Sweep { axes: self.axis_names(), points })
+        Ok(Sweep {
+            axes: self.axis_names(),
+            points,
+        })
     }
 
     /// Runs the sweep across all available cores, producing a [`Sweep`]
@@ -642,25 +673,32 @@ impl HostSweep {
 
     /// Formats the sweep as an aligned text table (one row per
     /// configuration), convenient for the experiment binaries.
+    ///
+    /// Rendered through one shared `fmt::Write` buffer (no per-row `String`
+    /// allocations); the exact rendering is pinned by a unit test.
     pub fn to_table(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "host interface      : {} (ideal {:.0} MB/s, +DDR {:.0} MB/s)\n",
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(128 + self.points.len() * 96);
+        let _ = writeln!(
+            out,
+            "host interface      : {} (ideal {:.0} MB/s, +DDR {:.0} MB/s)",
             self.interface, self.interface_ideal_mbps, self.interface_plus_dram_mbps
-        ));
-        out.push_str(&format!(
-            "{:<6} {:<34} {:>12} {:>12} {:>14}\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:<34} {:>12} {:>12} {:>14}",
             "config", "architecture", "DDR+FLASH", "SSD cache", "SSD no cache"
-        ));
+        );
         for p in &self.points {
-            out.push_str(&format!(
-                "{:<6} {:<34} {:>10.1} MB/s {:>10.1} MB/s {:>12.1} MB/s\n",
+            let _ = writeln!(
+                out,
+                "{:<6} {:<34} {:>10.1} MB/s {:>10.1} MB/s {:>12.1} MB/s",
                 p.config_name,
                 p.architecture,
                 p.ddr_flash_mbps,
                 p.ssd_cache_mbps,
                 p.ssd_no_cache_mbps
-            ));
+            );
         }
         out
     }
@@ -718,8 +756,9 @@ pub fn host_interface_study(
         let mut component_cfg = base.clone();
         component_cfg.host_interface = host;
         component_cfg.cache_policy = CachePolicy::WriteCache;
-        let mut ssd = Ssd::try_new(component_cfg).map_err(|error| {
-            SweepError::InvalidPoint { point: format!("config={}", base.name), error }
+        let mut ssd = Ssd::try_new(component_cfg).map_err(|error| SweepError::InvalidPoint {
+            point: format!("config={}", base.name),
+            error,
         })?;
         interface_ideal = ssd.interface_ideal_mbps();
         interface_plus_dram = interface_plus_dram.max(ssd.host_dram_only_mbps(workload));
@@ -899,7 +938,10 @@ mod tests {
         assert_eq!(jobs[3].config.cache_policy, CachePolicy::NoCache);
 
         let sweep = explorer.run(&quick_workload()).unwrap();
-        assert_eq!(sweep.axes, vec!["channels".to_string(), "cache".to_string()]);
+        assert_eq!(
+            sweep.axes,
+            vec!["channels".to_string(), "cache".to_string()]
+        );
         assert_eq!(sweep.len(), 4);
         assert_eq!(sweep.select("cache", "no cache").len(), 2);
         assert_eq!(sweep.points[2].value("channels"), Some("4"));
@@ -971,7 +1013,10 @@ mod tests {
 
     #[test]
     fn empty_sweep_accessors_degrade_gracefully() {
-        let sweep = Sweep { axes: Vec::new(), points: Vec::new() };
+        let sweep = Sweep {
+            axes: Vec::new(),
+            points: Vec::new(),
+        };
         assert!(sweep.is_empty());
         assert_eq!(sweep.len(), 0);
         assert!(sweep.best_by(|r| r.throughput_mbps).is_none());
@@ -997,9 +1042,19 @@ mod tests {
         assert!(sweep.best_by(|_| f64::NAN).is_none(), "all NaN -> None");
         // Mixed case: the faster (4-channel) point's metric is NaN, so the
         // slower point must win despite its lower throughput.
-        let fast = sweep.best_by(|r| r.throughput_mbps).unwrap().report.throughput_mbps;
+        let fast = sweep
+            .best_by(|r| r.throughput_mbps)
+            .unwrap()
+            .report
+            .throughput_mbps;
         let best = sweep
-            .best_by(|r| if r.throughput_mbps == fast { f64::NAN } else { r.throughput_mbps })
+            .best_by(|r| {
+                if r.throughput_mbps == fast {
+                    f64::NAN
+                } else {
+                    r.throughput_mbps
+                }
+            })
             .expect("finite points remain eligible");
         assert_eq!(best.value("channels"), Some("2"));
     }
@@ -1020,10 +1075,91 @@ mod tests {
     }
 
     #[test]
+    fn sweep_table_rendering_is_pinned() {
+        use crate::report::{PerfReport, UtilizationBreakdown};
+        use ssdx_sim::stats::LatencyHistogram;
+        use ssdx_sim::SimTime;
+        let mut latency = LatencyHistogram::new();
+        latency.record(SimTime::from_us(100));
+        let report = |name: &str, mbps: f64, iops: f64| PerfReport {
+            config_name: name.to_string(),
+            architecture: "arch".to_string(),
+            workload: "SW".to_string(),
+            policy: "cache".to_string(),
+            commands: 10,
+            bytes: 40_960,
+            elapsed: SimTime::from_ms(1),
+            throughput_mbps: mbps,
+            iops,
+            waf: 1.0,
+            nand_page_programs: 20,
+            nand_page_reads: 0,
+            latency: latency.clone(),
+            utilization: UtilizationBreakdown::default(),
+        };
+        let sweep = Sweep {
+            axes: vec!["channels".to_string()],
+            points: vec![
+                SweepPoint {
+                    coordinates: vec![AxisValue {
+                        axis: "channels".to_string(),
+                        value: "2".to_string(),
+                    }],
+                    report: report("a", 123.45, 30_000.0),
+                },
+                SweepPoint {
+                    coordinates: vec![AxisValue {
+                        axis: "channels".to_string(),
+                        value: "4".to_string(),
+                    }],
+                    report: report("b", 240.0, 58_593.75),
+                },
+            ],
+        };
+        // The exact rendering is part of the experiment drivers' recorded
+        // output; pin it so the shared-buffer rewrite (and any future
+        // change) cannot silently reformat the tables.
+        // (`mean lat` renders through SimTime's Display, which does not
+        // consume the width flag — the column is ragged, as it always was.)
+        let expected = "\
+point                                            MB/s         IOPS     mean lat\n\
+2                                               123.5        30000 100 us\n\
+4                                               240.0        58594 100 us\n";
+        assert_eq!(sweep.to_table(), expected);
+    }
+
+    #[test]
+    fn host_sweep_table_rendering_is_pinned() {
+        let sweep = HostSweep {
+            interface: "SATA II".to_string(),
+            interface_ideal_mbps: 279.0,
+            interface_plus_dram_mbps: 250.5,
+            points: vec![HostSweepPoint {
+                config_name: "C1".to_string(),
+                architecture: "1-DDR-buf;1-CHN;1-WAY;1-DIE".to_string(),
+                channels: 1,
+                dram_buffers: 1,
+                total_dies: 1,
+                ddr_flash_mbps: 10.04,
+                ssd_cache_mbps: 9.96,
+                ssd_no_cache_mbps: 8.0,
+            }],
+        };
+        let expected = "\
+host interface      : SATA II (ideal 279 MB/s, +DDR 250 MB/s)\n\
+config architecture                          DDR+FLASH    SSD cache   SSD no cache\n\
+C1     1-DDR-buf;1-CHN;1-WAY;1-DIE              10.0 MB/s       10.0 MB/s          8.0 MB/s\n";
+        assert_eq!(sweep.to_table(), expected);
+    }
+
+    #[test]
     fn host_interface_study_produces_one_point_per_config() {
-        let sweep =
-            host_interface_study(HostInterfaceConfig::Sata2, &small_table(), &quick_workload())
-                .unwrap();
+        let sweep = host_interface_study(
+            HostInterfaceConfig::Sata2,
+            &small_table(),
+            &quick_workload(),
+        )
+        .unwrap();
         assert_eq!(sweep.points.len(), 2);
         assert!(sweep.interface_ideal_mbps > 200.0);
         assert!(sweep.interface_plus_dram_mbps > 0.0);
@@ -1083,7 +1219,10 @@ mod tests {
             ],
         };
         assert_eq!(sweep.saturating_points(0.95).len(), 2);
-        assert_eq!(sweep.optimal_design_point(0.95).unwrap().config_name, "right");
+        assert_eq!(
+            sweep.optimal_design_point(0.95).unwrap().config_name,
+            "right"
+        );
     }
 
     #[test]
@@ -1148,7 +1287,11 @@ mod tests {
                 mk("C10", 32, 1024, 630.0),
             ],
         };
-        let front: Vec<&str> = sweep.pareto_front().iter().map(|p| p.config_name.as_str()).collect();
+        let front: Vec<&str> = sweep
+            .pareto_front()
+            .iter()
+            .map(|p| p.config_name.as_str())
+            .collect();
         assert_eq!(front, vec!["C1", "C3", "C5", "C6", "C10"]);
     }
 
@@ -1165,8 +1308,8 @@ mod tests {
         let ratio = adaptive[1].read_mbps / fixed[1].read_mbps;
         assert!((0.85..1.15).contains(&ratio), "ratio = {ratio}");
         // Writes are much less sensitive to the ECC choice than reads.
-        let write_gap = (adaptive[0].write_mbps - fixed[0].write_mbps).abs()
-            / fixed[0].write_mbps.max(1e-9);
+        let write_gap =
+            (adaptive[0].write_mbps - fixed[0].write_mbps).abs() / fixed[0].write_mbps.max(1e-9);
         assert!(write_gap < 0.15, "write gap = {write_gap}");
     }
 

@@ -61,18 +61,18 @@ pub use config::{
     CachePolicy, CompressorConfig, ConfigError, FtlMode, HostInterfaceConfig, SsdConfig,
     SsdConfigBuilder,
 };
-#[allow(deprecated)]
-pub use explorer::{sweep_host_interface, wearout_sweep};
 pub use explorer::{
     endurance_axis, host_interface_study, wearout_study, Axis, AxisValue, Explorer, HostSweep,
     HostSweepPoint, Sweep, SweepError, SweepJob, SweepPoint, WearoutPoint,
 };
+#[allow(deprecated)]
+pub use explorer::{sweep_host_interface, wearout_sweep};
 pub use layout::{PageAllocator, PageTarget};
 pub use parallel::ParallelExecutor;
 pub use report::{PerfReport, UtilizationBreakdown};
 pub use session::{CommandRecord, CompletionLog, Probe, SessionSnapshot, SimSession};
 pub use speed::{
-    measure_kcps, measure_kcps_sweep, measure_sweep_speedup, measure_sweep_speedups, SpeedPoint,
-    SweepSpeedup,
+    measure_fig6_baseline, measure_kcps, measure_kcps_sweep, measure_sweep_speedup,
+    measure_sweep_speedups, ParallelSpeed, SpeedBaseline, SpeedPoint, SweepSpeedup,
 };
 pub use ssd::Ssd;

@@ -79,8 +79,7 @@ impl ParallelExecutor {
     /// hardware thread (falling back to 1 when the parallelism cannot be
     /// queried).
     pub fn new() -> Self {
-        let threads = thread::available_parallelism()
-            .unwrap_or(NonZeroUsize::MIN);
+        let threads = thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
         ParallelExecutor { threads }
     }
 
@@ -122,7 +121,10 @@ impl ParallelExecutor {
     {
         let jobs = explorer.jobs()?;
         let points = self.execute_jobs(&jobs, source)?;
-        Ok(Sweep { axes: explorer.axis_names(), points })
+        Ok(Sweep {
+            axes: explorer.axis_names(),
+            points,
+        })
     }
 
     /// Executes an explicit job batch, returning one [`SweepPoint`] per job
@@ -246,7 +248,9 @@ mod tests {
         let w = workload(96);
         let sequential = explorer.run(&w).unwrap();
         for threads in [1, 2, 4, 8] {
-            let parallel = ParallelExecutor::with_threads(threads).run(&explorer, &w).unwrap();
+            let parallel = ParallelExecutor::with_threads(threads)
+                .run(&explorer, &w)
+                .unwrap();
             assert_eq!(
                 format!("{sequential:?}"),
                 format!("{parallel:?}"),
@@ -264,7 +268,8 @@ mod tests {
             .unwrap();
         // `jobs()` validates upfront, so build the failing batch by hand:
         // corrupt the config of a mid-batch job after expansion.
-        let explorer = Explorer::new(base).over(Axis::over("seed", 1u64..=6, |cfg, &s| cfg.seed = s));
+        let explorer =
+            Explorer::new(base).over(Axis::over("seed", 1u64..=6, |cfg, &s| cfg.seed = s));
         let mut jobs = explorer.jobs().unwrap();
         jobs[2].config.channels = 0;
         jobs[4].config.ways = 0;
@@ -296,8 +301,13 @@ mod tests {
             .unwrap();
         let explorer = Explorer::new(base);
         let w = workload(32);
-        let sweep = ParallelExecutor::with_threads(16).run(&explorer, &w).unwrap();
+        let sweep = ParallelExecutor::with_threads(16)
+            .run(&explorer, &w)
+            .unwrap();
         assert_eq!(sweep.len(), 1);
-        assert_eq!(format!("{sweep:?}"), format!("{:?}", explorer.run(&w).unwrap()));
+        assert_eq!(
+            format!("{sweep:?}"),
+            format!("{:?}", explorer.run(&w).unwrap())
+        );
     }
 }

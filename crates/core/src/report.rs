@@ -88,12 +88,20 @@ impl PerfReport {
 
 impl fmt::Display for PerfReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "configuration : {} ({})", self.config_name, self.architecture)?;
+        writeln!(
+            f,
+            "configuration : {} ({})",
+            self.config_name, self.architecture
+        )?;
         writeln!(f, "workload      : {} ({})", self.workload, self.policy)?;
         writeln!(f, "commands      : {}", self.commands)?;
         writeln!(f, "payload       : {:.1} MB", self.bytes as f64 / 1e6)?;
         writeln!(f, "elapsed       : {}", self.elapsed)?;
-        writeln!(f, "throughput    : {:.1} MB/s ({:.0} IOPS)", self.throughput_mbps, self.iops)?;
+        writeln!(
+            f,
+            "throughput    : {:.1} MB/s ({:.0} IOPS)",
+            self.throughput_mbps, self.iops
+        )?;
         writeln!(f, "write ampl.   : {:.2}", self.waf)?;
         writeln!(
             f,

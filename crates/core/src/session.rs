@@ -129,6 +129,19 @@ impl CompletionLog {
         CompletionLog::default()
     }
 
+    /// Creates an empty log with room for `records` command records and
+    /// `snapshots` periodic snapshots. With sufficient capacity the log
+    /// never allocates while observing a run, preserving the session's
+    /// zero-allocations-per-step property (pinned by the
+    /// `step_allocations` suite).
+    pub fn with_capacity(records: usize, snapshots: usize) -> Self {
+        CompletionLog {
+            records: Vec::with_capacity(records),
+            snapshots: Vec::with_capacity(snapshots),
+            finished: false,
+        }
+    }
+
     /// Every command completion observed, in stream order.
     pub fn records(&self) -> &[CommandRecord] {
         &self.records
@@ -217,8 +230,7 @@ impl<'a> SimSession<'a> {
         let queue_depth = ssd.config().queue_depth() as usize;
         let page_bytes = ssd.config().nand.geometry.page_size_bytes;
         let waf = ssd.config().waf.waf(mix);
-        let buffer_capacity =
-            ssd.config().dram_buffers as u64 * ssd.config().dram_buffer_capacity;
+        let buffer_capacity = ssd.config().dram_buffers as u64 * ssd.config().dram_buffer_capacity;
         let compressor = ssd.config().compressor.build();
 
         // In page-mapped mode an actual FTL is instantiated, sized to cover
@@ -233,8 +245,7 @@ impl<'a> SimSession<'a> {
                 .unwrap_or(page_bytes as u64);
             let logical_pages = max_end.div_ceil(page_bytes as u64).max(1);
             let pages_per_block = ssd.config().nand.geometry.pages_per_block as u64;
-            let blocks = ((logical_pages as f64
-                * (1.0 + ssd.config().waf.over_provisioning)
+            let blocks = ((logical_pages as f64 * (1.0 + ssd.config().waf.over_provisioning)
                 / pages_per_block as f64)
                 .ceil() as u32)
                 .max(8)
@@ -248,6 +259,28 @@ impl<'a> SimSession<'a> {
             None
         };
 
+        // Pre-size the per-run queues to their provable high-water marks so
+        // `step` never allocates: the protocol window holds at most
+        // `queue_depth` completions, and the DRAM back-pressure ledger holds
+        // at most one entry per buffered write — bounded by the aggregate
+        // buffer capacity divided by the smallest write in the stream
+        // (clamped by the command count for short streams).
+        let window = BinaryHeap::with_capacity(queue_depth + 1);
+        let min_write_bytes = commands
+            .iter()
+            .filter(|c| c.op == HostOp::Write)
+            .map(|c| c.bytes.max(1))
+            .min();
+        let in_flight_bound = match min_write_bytes {
+            Some(bytes) => {
+                commands
+                    .len()
+                    .min((buffer_capacity / bytes as u64 + 2) as usize)
+                    + 1
+            }
+            None => 1, // no writes: the ledger stays empty
+        };
+        let in_flight = BinaryHeap::with_capacity(in_flight_bound);
         SimSession {
             ssd,
             label,
@@ -259,8 +292,8 @@ impl<'a> SimSession<'a> {
             waf,
             compressor,
             ftl,
-            window: BinaryHeap::new(),
-            in_flight: BinaryHeap::new(),
+            window,
+            in_flight,
             in_flight_bytes: 0,
             waf_carry: 0.0,
             latency: LatencyHistogram::new(),
@@ -340,7 +373,8 @@ impl<'a> SimSession<'a> {
         let (admitted_at, completed_at) = self.execute(&cmd);
 
         self.window.push(Reverse(completed_at));
-        self.latency.record(completed_at.saturating_sub(admitted_at));
+        self.latency
+            .record(completed_at.saturating_sub(admitted_at));
         if cmd.op != HostOp::Trim {
             self.total_bytes += cmd.bytes as u64;
         }
@@ -448,21 +482,31 @@ impl<'a> SimSession<'a> {
                 };
                 let buf = (cmd.id % self.ssd.dram.len() as u64) as usize;
                 let dram_done = self.ssd.dram[buf]
-                    .access(host_side_comp_done, cmd.offset, host_payload, AccessKind::Write)
+                    .access(
+                        host_side_comp_done,
+                        cmd.offset,
+                        host_payload,
+                        AccessKind::Write,
+                    )
                     .end;
 
                 // --- Firmware + descriptor traffic on the AHB -------------
                 let core = (cmd.id % self.ssd.cpus.len() as u64) as usize;
                 let fw = self.ssd.cpus[core].execute_command_overhead(admit.max(link.start));
                 let desc_bytes = 4 * self.ssd.cpus[core].bus_accesses_per_task() * 4;
-                let ahb_done = self.ssd.ahb.transfer(fw.start, core as u32, 0, desc_bytes).end;
+                let ahb_done = self
+                    .ssd
+                    .ahb
+                    .transfer(fw.start, core as u32, 0, desc_bytes)
+                    .end;
                 let ready = dram_done.max(fw.end).max(ahb_done);
 
                 // --- Optional channel-side compression --------------------
                 let (nand_payload, comp_done) = match self.compressor {
-                    Some(c) if c.placement == CompressorPlacement::ChannelSide => {
-                        (c.output_bytes(host_payload), ready + c.compress_time(host_payload))
-                    }
+                    Some(c) if c.placement == CompressorPlacement::ChannelSide => (
+                        c.output_bytes(host_payload),
+                        ready + c.compress_time(host_payload),
+                    ),
                     _ => (host_payload, ready),
                 };
 
@@ -505,7 +549,8 @@ impl<'a> SimSession<'a> {
                             );
                             let dst = self.ssd.allocator.next_write();
                             let done =
-                                self.ssd.program_page_at(out.complete_at, buf, cmd.offset, dst);
+                                self.ssd
+                                    .program_page_at(out.complete_at, buf, cmd.offset, dst);
                             last_nand = last_nand.max(done);
                         }
                         for e in 0..erases {
@@ -544,7 +589,11 @@ impl<'a> SimSession<'a> {
                 let core = (cmd.id % self.ssd.cpus.len() as u64) as usize;
                 let fw = self.ssd.cpus[core].execute_command_overhead(admit);
                 let desc_bytes = 4 * self.ssd.cpus[core].bus_accesses_per_task() * 4;
-                let ahb_done = self.ssd.ahb.transfer(fw.start, core as u32, 0, desc_bytes).end;
+                let ahb_done = self
+                    .ssd
+                    .ahb
+                    .transfer(fw.start, core as u32, 0, desc_bytes)
+                    .end;
                 let ready = fw.end.max(ahb_done);
 
                 // --- Read every page from the array -----------------------
@@ -572,11 +621,9 @@ impl<'a> SimSession<'a> {
                         .die(way, die)
                         .expect("allocator targets are in range")
                         .block_pe_cycles(addr);
-                    let dec_latency = self.ssd.config().ecc.decode_latency_for(
-                        page_bytes,
-                        pe,
-                        out.expected_raw_errors,
-                    );
+                    let dec_latency =
+                        self.ssd
+                            .ecc_decode_latency(page_bytes, pe, out.expected_raw_errors);
                     let dec = self.ssd.ecc_decoders[channel as usize]
                         .reserve(out.complete_at, dec_latency);
                     let decomp_done = match self.compressor {
@@ -683,7 +730,10 @@ mod tests {
         assert_eq!(session.completed() + session.remaining(), 256);
         // Finishing afterwards is still byte-identical to the one-shot run.
         let report = session.finish();
-        assert_eq!(format!("{report:?}"), format!("{:?}", platform().simulate(&w)));
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{:?}", platform().simulate(&w))
+        );
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub struct Ssd {
     pub(crate) ecc_decoders: Vec<Resource>,
     pub(crate) allocator: PageAllocator,
     pub(crate) aged_pe: u64,
+    /// One-entry ECC encode-latency memo keyed by P/E count: the latency is
+    /// a pure function of `(page size, pe)`, and recomputing it walks the
+    /// codec's float pipeline once per page program on the hot path.
+    ecc_encode_memo: (u64, SimTime),
+    /// One-entry ECC decode-latency memo keyed by `(pe, raw-error bits)`.
+    ecc_decode_memo: (u64, u64, SimTime),
 }
 
 impl Ssd {
@@ -119,8 +125,35 @@ impl Ssd {
             ecc_decoders,
             allocator,
             aged_pe: 0,
+            ecc_encode_memo: (u64::MAX, SimTime::ZERO),
+            ecc_decode_memo: (u64::MAX, 0, SimTime::ZERO),
             config,
         })
+    }
+
+    /// ECC encode latency for one page at the given wear, through the
+    /// one-entry memo (identical value to calling the scheme directly).
+    #[inline]
+    pub(crate) fn ecc_encode_latency(&mut self, page_bytes: u32, pe: u64) -> SimTime {
+        if self.ecc_encode_memo.0 != pe {
+            self.ecc_encode_memo = (pe, self.config.ecc.encode_latency_for(page_bytes, pe));
+        }
+        self.ecc_encode_memo.1
+    }
+
+    /// ECC decode latency for one page at the given wear and expected raw
+    /// error count, through the one-entry memo.
+    #[inline]
+    pub(crate) fn ecc_decode_latency(&mut self, page_bytes: u32, pe: u64, raw: f64) -> SimTime {
+        let raw_bits = raw.to_bits();
+        if self.ecc_decode_memo.0 != pe || self.ecc_decode_memo.1 != raw_bits {
+            self.ecc_decode_memo = (
+                pe,
+                raw_bits,
+                self.config.ecc.decode_latency_for(page_bytes, pe, raw),
+            );
+        }
+        self.ecc_decode_memo.2
     }
 
     /// Builds the platform described by `config`.
@@ -263,25 +296,29 @@ impl Ssd {
     pub(crate) fn target_for_block(&self, block_index: u32, page: u32) -> PageTarget {
         let total_dies = self.config.total_dies() as u64;
         let geometry = &self.config.nand.geometry;
-        let global_page =
-            block_index as u64 * geometry.pages_per_block as u64 + page as u64;
+        let global_page = block_index as u64 * geometry.pages_per_block as u64 + page as u64;
         let die_index = (global_page % total_dies) as u32;
         let channel = die_index % self.config.channels;
         let way = (die_index / self.config.channels) % self.config.ways;
-        let die = (die_index / (self.config.channels * self.config.ways)) % self.config.dies_per_way;
+        let die =
+            (die_index / (self.config.channels * self.config.ways)) % self.config.dies_per_way;
         // Position of this page within its die, advancing page-first inside
         // blocks, alternating planes between blocks.
         let cursor = (global_page / total_dies) % geometry.pages_per_die();
         let page_in_block = (cursor % geometry.pages_per_block as u64) as u32;
         let block_linear = cursor / geometry.pages_per_block as u64;
         let plane = (block_linear % geometry.planes_per_die as u64) as u32;
-        let block =
-            ((block_linear / geometry.planes_per_die as u64) % geometry.blocks_per_plane as u64) as u32;
+        let block = ((block_linear / geometry.planes_per_die as u64)
+            % geometry.blocks_per_plane as u64) as u32;
         PageTarget {
             channel,
             way,
             die,
-            addr: ssdx_nand::PageAddr { plane, block, page: page_in_block },
+            addr: ssdx_nand::PageAddr {
+                plane,
+                block,
+                page: page_in_block,
+            },
         }
     }
 
@@ -297,12 +334,17 @@ impl Ssd {
     ) -> SimTime {
         let page_bytes = self.config.nand.geometry.page_size_bytes;
         let raw_page_bytes = self.config.nand.geometry.raw_page_bytes();
-        let PageTarget { channel, way, die, addr } = target;
+        let PageTarget {
+            channel,
+            way,
+            die,
+            addr,
+        } = target;
         let pe = self.channels[channel as usize]
             .die(way, die)
             .expect("targets are in range")
             .block_pe_cycles(addr);
-        let enc_latency = self.config.ecc.encode_latency_for(page_bytes, pe);
+        let enc_latency = self.ecc_encode_latency(page_bytes, pe);
         let enc = self.ecc_encoders[channel as usize].reserve(at, enc_latency);
         let flush = self.dram[buf]
             .access(enc.end, offset, page_bytes, AccessKind::Read)
@@ -315,7 +357,12 @@ impl Ssd {
     /// Issues one block erase starting no earlier than `at`, returning the
     /// instant the array operation completes.
     pub(crate) fn erase_block_at(&mut self, at: SimTime, target: PageTarget) -> SimTime {
-        let PageTarget { channel, way, die, mut addr } = target;
+        let PageTarget {
+            channel,
+            way,
+            die,
+            mut addr,
+        } = target;
         addr.page = 0;
         self.channels[channel as usize]
             .execute(at, way, die, NandOp::Erase, addr, 0)
@@ -371,11 +418,19 @@ impl Ssd {
         UtilizationBreakdown {
             host_link: self.host_link.utilization(horizon),
             dram: dram_util,
-            cpu: self.cpus.iter().map(|c| c.utilization(horizon)).sum::<f64>()
+            cpu: self
+                .cpus
+                .iter()
+                .map(|c| c.utilization(horizon))
+                .sum::<f64>()
                 / self.cpus.len() as f64,
             ahb: self.ahb.utilization(horizon),
             channel_bus: channel_util / self.channels.len() as f64,
-            die: if die_count == 0 { 0.0 } else { die_util / die_count as f64 },
+            die: if die_count == 0 {
+                0.0
+            } else {
+                die_util / die_count as f64
+            },
         }
     }
 
@@ -453,7 +508,9 @@ impl Ssd {
             } else {
                 AccessKind::Write
             };
-            let dram_done = self.dram[buf].access(link.end, cmd.offset, cmd.bytes, kind).end;
+            let dram_done = self.dram[buf]
+                .access(link.end, cmd.offset, cmd.bytes, kind)
+                .end;
             window.push(Reverse(dram_done));
             bytes += cmd.bytes as u64;
             last = last.max(dram_done);
@@ -498,18 +555,23 @@ impl Ssd {
                 let target = if is_write {
                     self.allocator.next_write()
                 } else {
-                    self.allocator.locate(cmd.offset / page_bytes as u64 + p as u64)
+                    self.allocator
+                        .locate(cmd.offset / page_bytes as u64 + p as u64)
                 };
-                let PageTarget { channel, way, die, addr } = target;
+                let PageTarget {
+                    channel,
+                    way,
+                    die,
+                    addr,
+                } = target;
                 let pe = self.channels[channel as usize]
                     .die(way, die)
                     .expect("allocator targets are in range")
                     .block_pe_cycles(addr);
                 if is_write {
-                    let enc = self.ecc_encoders[channel as usize].reserve(
-                        SimTime::ZERO,
-                        self.config.ecc.encode_latency_for(page_bytes, pe),
-                    );
+                    let enc_latency = self.ecc_encode_latency(page_bytes, pe);
+                    let enc =
+                        self.ecc_encoders[channel as usize].reserve(SimTime::ZERO, enc_latency);
                     let flush = self.dram[buf]
                         .access(enc.end, cmd.offset, page_bytes, AccessKind::Read)
                         .end;
@@ -531,14 +593,10 @@ impl Ssd {
                         addr,
                         raw_page_bytes,
                     );
-                    let dec = self.ecc_decoders[channel as usize].reserve(
-                        out.complete_at,
-                        self.config.ecc.decode_latency_for(
-                            page_bytes,
-                            pe,
-                            out.expected_raw_errors,
-                        ),
-                    );
+                    let dec_latency =
+                        self.ecc_decode_latency(page_bytes, pe, out.expected_raw_errors);
+                    let dec =
+                        self.ecc_decoders[channel as usize].reserve(out.complete_at, dec_latency);
                     let dram_done = self.dram[buf]
                         .access(dec.end, cmd.offset, page_bytes, AccessKind::Write)
                         .end;
@@ -614,13 +672,22 @@ mod tests {
         assert!(report.throughput_mbps < ssd.interface_ideal_mbps());
         assert_eq!(report.commands, 512);
         assert_eq!(report.bytes, 512 * 4096);
-        assert!(report.nand_page_programs >= 1024, "two 2 KB pages per 4 KB command");
+        assert!(
+            report.nand_page_programs >= 1024,
+            "two 2 KB pages per 4 KB command"
+        );
     }
 
     #[test]
     fn cache_policy_beats_no_cache_on_sequential_writes() {
-        let cache = small_config("cache").cache_policy(CachePolicy::WriteCache).build().unwrap();
-        let nocache = small_config("nocache").cache_policy(CachePolicy::NoCache).build().unwrap();
+        let cache = small_config("cache")
+            .cache_policy(CachePolicy::WriteCache)
+            .build()
+            .unwrap();
+        let nocache = small_config("nocache")
+            .cache_policy(CachePolicy::NoCache)
+            .build()
+            .unwrap();
         let w = small_workload(AccessPattern::SequentialWrite, 512);
         let r_cache = Ssd::new(cache).simulate(&w);
         let r_nocache = Ssd::new(nocache).simulate(&w);
@@ -635,7 +702,8 @@ mod tests {
     #[test]
     fn random_writes_are_slower_than_sequential_writes() {
         let cfg = small_config("waf").build().unwrap();
-        let seq = Ssd::new(cfg.clone()).simulate(&small_workload(AccessPattern::SequentialWrite, 512));
+        let seq =
+            Ssd::new(cfg.clone()).simulate(&small_workload(AccessPattern::SequentialWrite, 512));
         let rnd = Ssd::new(cfg).simulate(&small_workload(AccessPattern::RandomWrite, 512));
         assert!(rnd.throughput_mbps < seq.throughput_mbps);
         assert!(rnd.waf > seq.waf);
@@ -703,9 +771,18 @@ mod tests {
     #[test]
     fn wear_out_slows_down_reads_more_with_fixed_bch() {
         let w = small_workload(AccessPattern::SequentialRead, 256);
-        let mut fixed = Ssd::new(small_config("fixed").ecc(EccScheme::fixed_bch(40)).build().unwrap());
-        let mut adaptive =
-            Ssd::new(small_config("adaptive").ecc(EccScheme::adaptive_bch(40)).build().unwrap());
+        let mut fixed = Ssd::new(
+            small_config("fixed")
+                .ecc(EccScheme::fixed_bch(40))
+                .build()
+                .unwrap(),
+        );
+        let mut adaptive = Ssd::new(
+            small_config("adaptive")
+                .ecc(EccScheme::adaptive_bch(40))
+                .build()
+                .unwrap(),
+        );
         // Early in life the adaptive code reads faster.
         let r_fixed_fresh = fixed.simulate(&w);
         let r_adaptive_fresh = adaptive.simulate(&w);
@@ -746,7 +823,10 @@ mod tests {
         let host_dram = ssd.host_dram_only_mbps(&w);
         let flash = ssd.flash_path_mbps(&w);
         let full = ssd.simulate(&w).throughput_mbps;
-        assert!(host_dram <= ideal * 1.01, "host+dram {host_dram} vs ideal {ideal}");
+        assert!(
+            host_dram <= ideal * 1.01,
+            "host+dram {host_dram} vs ideal {ideal}"
+        );
         // The full SSD can never beat its own back end or its own front end.
         assert!(full <= host_dram * 1.05);
         assert!(full <= flash * 1.15, "full {full} vs flash {flash}");
@@ -799,7 +879,11 @@ mod tests {
             .build()
             .unwrap();
         let report = Ssd::new(cfg).simulate(&workload);
-        assert!(report.waf > 1.05, "measured WAF should exceed 1, got {}", report.waf);
+        assert!(
+            report.waf > 1.05,
+            "measured WAF should exceed 1, got {}",
+            report.waf
+        );
         assert!(report.nand_page_programs as f64 >= 1.05 * 2.0 * 1_500.0);
         assert!(report.throughput_mbps > 0.0);
     }
@@ -810,12 +894,19 @@ mod tests {
         let w = small_workload(AccessPattern::SequentialWrite, 512);
         let waf_mode = Ssd::new(small_config("waf-mode").build().unwrap()).simulate(&w);
         let real_mode = Ssd::new(
-            small_config("pm-mode").ftl_mode(FtlMode::PageMapped).build().unwrap(),
+            small_config("pm-mode")
+                .ftl_mode(FtlMode::PageMapped)
+                .build()
+                .unwrap(),
         )
         .simulate(&w);
         // Sequential traffic does not amplify in either accounting mode, so
         // the two pipelines should deliver comparable throughput.
-        assert!((real_mode.waf - 1.0).abs() < 0.1, "sequential WAF {}", real_mode.waf);
+        assert!(
+            (real_mode.waf - 1.0).abs() < 0.1,
+            "sequential WAF {}",
+            real_mode.waf
+        );
         let ratio = real_mode.throughput_mbps / waf_mode.throughput_mbps;
         assert!((0.8..1.25).contains(&ratio), "ratio = {ratio}");
     }
@@ -834,9 +925,14 @@ mod tests {
             bus_accesses_per_task: 8,
         };
         let w = small_workload(AccessPattern::SequentialWrite, 512);
-        let single = Ssd::new(small_config("one-core").firmware(heavy).build().unwrap()).simulate(&w);
+        let single =
+            Ssd::new(small_config("one-core").firmware(heavy).build().unwrap()).simulate(&w);
         let dual = Ssd::new(
-            small_config("two-cores").firmware(heavy).cpu_cores(2).build().unwrap(),
+            small_config("two-cores")
+                .firmware(heavy)
+                .cpu_cores(2)
+                .build()
+                .unwrap(),
         )
         .simulate(&w);
         assert!(

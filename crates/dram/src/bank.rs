@@ -65,7 +65,27 @@ impl Bank {
     /// Performs the row-management part of an access to `row`, starting no
     /// earlier than `at`. Returns the instant at which the column access
     /// (CAS) can be issued and the row outcome.
-    pub fn open_row(&mut self, at: SimTime, row: u64, timings: &DdrTimings) -> (SimTime, RowOutcome) {
+    pub fn open_row(
+        &mut self,
+        at: SimTime,
+        row: u64,
+        timings: &DdrTimings,
+    ) -> (SimTime, RowOutcome) {
+        self.open_row_with(at, row, timings.activate_time(), timings.precharge_time())
+    }
+
+    /// [`open_row`](Self::open_row) with the activate/precharge latencies
+    /// supplied by the caller, so per-burst loops can use latencies cached
+    /// once at controller construction instead of re-deriving them (a
+    /// 128-bit division each) on every burst.
+    #[inline]
+    pub fn open_row_with(
+        &mut self,
+        at: SimTime,
+        row: u64,
+        activate: SimTime,
+        precharge: SimTime,
+    ) -> (SimTime, RowOutcome) {
         let start = at.max(self.ready_at);
         let (ready, outcome) = match self.state {
             BankState::ActiveRow(open) if open == row => {
@@ -74,14 +94,11 @@ impl Bank {
             }
             BankState::Idle => {
                 self.misses += 1;
-                (start + timings.activate_time(), RowOutcome::Miss)
+                (start + activate, RowOutcome::Miss)
             }
             BankState::ActiveRow(_) => {
                 self.conflicts += 1;
-                (
-                    start + timings.precharge_time() + timings.activate_time(),
-                    RowOutcome::Conflict,
-                )
+                (start + precharge + activate, RowOutcome::Conflict)
             }
         };
         self.state = BankState::ActiveRow(row);

@@ -46,6 +46,12 @@ pub struct DramStats {
 /// served by the disk controller; the SSD model instantiates as many
 /// `DramBuffer`s as the configuration requests and stripes traffic across
 /// them.
+///
+/// The derived timing quantities (CAS/activate/precharge/burst times, the
+/// refresh window and interval) are computed once at construction and cached
+/// — every one of them costs a 128-bit division through
+/// [`Frequency::cycles_to_time`](ssdx_sim::Frequency::cycles_to_time), and
+/// the burst loop used to recompute them per 64-byte burst.
 #[derive(Debug, Clone)]
 pub struct DramBuffer {
     id: u32,
@@ -54,6 +60,14 @@ pub struct DramBuffer {
     data_bus_free: SimTime,
     next_refresh: SimTime,
     stats: DramStats,
+    // Cached derived timings (pure functions of `timings`, which is only
+    // exposed immutably).
+    cas: SimTime,
+    activate: SimTime,
+    precharge: SimTime,
+    burst: SimTime,
+    refresh_window: SimTime,
+    refresh_interval: SimTime,
 }
 
 impl DramBuffer {
@@ -62,11 +76,17 @@ impl DramBuffer {
         let banks = (0..timings.banks).map(|_| Bank::new()).collect();
         DramBuffer {
             id,
-            timings,
             banks,
             data_bus_free: SimTime::ZERO,
             next_refresh: timings.refresh_interval(),
             stats: DramStats::default(),
+            cas: timings.cas_time(),
+            activate: timings.activate_time(),
+            precharge: timings.precharge_time(),
+            burst: timings.burst_time(),
+            refresh_window: timings.refresh_time(),
+            refresh_interval: timings.refresh_interval(),
+            timings,
         }
     }
 
@@ -102,12 +122,36 @@ impl DramBuffer {
     fn refresh_if_due(&mut self, now: SimTime) {
         while now >= self.next_refresh {
             let at = self.next_refresh;
+            // Catch-up collapse: when every bank is idle by `at` and one
+            // refresh window fully fits inside the refresh interval, each
+            // refresh leaves the device in a state (`Idle`,
+            // `ready = at + tRFC`) that the next one completely supersedes —
+            // so only the last due refresh's effect survives. Apply it
+            // directly and account the skipped ones, instead of walking one
+            // 7.8 µs interval at a time across what can be seconds of
+            // simulated idle time (the former dominant cost of long runs).
+            let windows_fit = self.refresh_window.max(self.precharge) <= self.refresh_interval;
+            if windows_fit && self.banks.iter().all(|b| b.ready_at() <= at) {
+                let skipped = (now - at).as_ps() / self.refresh_interval.as_ps();
+                let last_at = at + self.refresh_interval * skipped;
+                for bank in &mut self.banks {
+                    bank.precharge(last_at, &self.timings);
+                    bank.occupy_until(last_at + self.refresh_window);
+                }
+                self.data_bus_free = self.data_bus_free.max(last_at + self.refresh_window);
+                self.next_refresh = last_at + self.refresh_interval;
+                self.stats.refreshes += skipped + 1;
+                return;
+            }
+            // Slow path: a bank is still busy past `at` (or the timing set
+            // is degenerate), so refreshes interact and must be replayed one
+            // by one until the device drains.
             for bank in &mut self.banks {
                 bank.precharge(at, &self.timings);
-                bank.occupy_until(at + self.timings.refresh_time());
+                bank.occupy_until(at + self.refresh_window);
             }
-            self.data_bus_free = self.data_bus_free.max(at + self.timings.refresh_time());
-            self.next_refresh += self.timings.refresh_interval();
+            self.data_bus_free = self.data_bus_free.max(at + self.refresh_window);
+            self.next_refresh += self.refresh_interval;
             self.stats.refreshes += 1;
         }
     }
@@ -119,28 +163,58 @@ impl DramBuffer {
     /// activation cost its bank requires (hit/miss/conflict) plus CAS latency
     /// and bus occupancy. Refresh windows that became due before `at` stall
     /// the whole device.
-    pub fn access(&mut self, at: SimTime, addr: u64, bytes: u32, _kind: AccessKind) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        at: SimTime,
+        addr: u64,
+        bytes: u32,
+        _kind: AccessKind,
+    ) -> AccessOutcome {
         self.refresh_if_due(at);
-        let bursts = bytes.div_ceil(self.timings.burst_bytes()).max(1);
+        let burst_bytes = self.timings.burst_bytes() as u64;
+        let banks = self.banks.len() as u64;
+        let bursts = bytes.div_ceil(burst_bytes as u32).max(1);
         let mut cursor = at;
         let mut first_start = None;
         let mut row_hits = 0;
+        // Incremental address mapping: consecutive bursts rotate across the
+        // banks one step at a time and advance the row whenever the running
+        // address crosses a row boundary, replacing the two 64-bit divisions
+        // the closed-form `map_address` pays per burst (the mapping itself
+        // is unchanged — `map_address` remains the reference definition).
+        let mut bank_idx = ((addr / burst_bytes) % banks) as usize;
+        let mut row = addr / self.timings.row_bytes as u64;
+        let mut row_rem = addr % self.timings.row_bytes as u64;
         for i in 0..bursts {
-            let (bank_idx, row) = self.map_address(addr, i);
-            let (cas_ready, outcome) = self.banks[bank_idx].open_row(cursor, row, &self.timings);
+            debug_assert_eq!((bank_idx, row), {
+                let (b, r) = self.map_address(addr, i);
+                (b, r)
+            });
+            let (cas_ready, outcome) =
+                self.banks[bank_idx].open_row_with(cursor, row, self.activate, self.precharge);
             if outcome == RowOutcome::Hit {
                 row_hits += 1;
             }
-            let data_start = (cas_ready + self.timings.cas_time()).max(self.data_bus_free);
-            let data_end = data_start + self.timings.burst_time();
+            let data_start = (cas_ready + self.cas).max(self.data_bus_free);
+            let data_end = data_start + self.burst;
             self.banks[bank_idx].occupy_until(data_end);
             self.data_bus_free = data_end;
-            self.stats.bus_busy += self.timings.burst_time();
             if first_start.is_none() {
                 first_start = Some(data_start);
             }
             cursor = data_end;
+            // Advance the mapping to the next burst.
+            bank_idx += 1;
+            if bank_idx as u64 == banks {
+                bank_idx = 0;
+            }
+            row_rem += burst_bytes;
+            while row_rem >= self.timings.row_bytes as u64 {
+                row_rem -= self.timings.row_bytes as u64;
+                row += 1;
+            }
         }
+        self.stats.bus_busy += self.burst * bursts as u64;
         self.stats.accesses += 1;
         self.stats.bytes += bytes as u64;
         AccessOutcome {
@@ -195,7 +269,12 @@ mod tests {
         let mut b = buf();
         b.access(SimTime::ZERO, 0, 4096, AccessKind::Write);
         let o2 = b.access(SimTime::from_us(10), 0, 4096, AccessKind::Read);
-        assert!(o2.row_hits > o2.bursts / 2, "row hits = {}/{}", o2.row_hits, o2.bursts);
+        assert!(
+            o2.row_hits > o2.bursts / 2,
+            "row hits = {}/{}",
+            o2.row_hits,
+            o2.bursts
+        );
     }
 
     #[test]
@@ -210,7 +289,11 @@ mod tests {
         let mut b = buf();
         b.access(SimTime::from_ms(1), 0, 64, AccessKind::Write);
         // 1 ms / 7.8 µs ≈ 128 refreshes due before the access.
-        assert!(b.stats().refreshes >= 120, "refreshes = {}", b.stats().refreshes);
+        assert!(
+            b.stats().refreshes >= 120,
+            "refreshes = {}",
+            b.stats().refreshes
+        );
     }
 
     #[test]

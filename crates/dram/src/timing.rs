@@ -117,7 +117,11 @@ impl DdrTimings {
 
     /// Validates the parameter set.
     pub fn validate(&self) -> Result<(), TimingsError> {
-        if self.burst_length == 0 || self.bus_width_bytes == 0 || self.banks == 0 || self.row_bytes == 0 {
+        if self.burst_length == 0
+            || self.bus_width_bytes == 0
+            || self.banks == 0
+            || self.row_bytes == 0
+        {
             return Err(TimingsError::ZeroDimension);
         }
         if self.cl == 0 || self.t_rcd == 0 || self.t_rp == 0 {

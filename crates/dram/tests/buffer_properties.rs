@@ -76,7 +76,9 @@ fn row_conflicts_cost_more_than_hits() {
     let mut conflict_end = SimTime::ZERO;
     for i in 0..64u64 {
         let addr = i * timings.row_bytes as u64 * timings.banks as u64;
-        conflict_end = conflict_buffer.access(conflict_end, addr, 64, AccessKind::Read).end;
+        conflict_end = conflict_buffer
+            .access(conflict_end, addr, 64, AccessKind::Read)
+            .end;
     }
     assert!(
         conflict_end > hit_end + SimTime::from_ns(500),

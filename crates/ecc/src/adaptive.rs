@@ -26,7 +26,10 @@ impl AdaptiveTable {
     /// Panics if `entries` is empty, thresholds are not strictly increasing,
     /// or capabilities are not non-decreasing.
     pub fn new(entries: Vec<(u64, u32)>, max_t: u32) -> Self {
-        assert!(!entries.is_empty(), "adaptive table needs at least one entry");
+        assert!(
+            !entries.is_empty(),
+            "adaptive table needs at least one entry"
+        );
         for w in entries.windows(2) {
             assert!(w[0].0 < w[1].0, "thresholds must be strictly increasing");
             assert!(w[0].1 <= w[1].1, "capabilities must be non-decreasing");

@@ -126,9 +126,7 @@ impl EccScheme {
     pub fn parity_bytes_per_page(&self, pe_cycles: u64) -> u32 {
         match self {
             EccScheme::None => 0,
-            EccScheme::FixedBch(codec) => {
-                codec.parity_bytes() * codec.codewords_per_page(4096)
-            }
+            EccScheme::FixedBch(codec) => codec.parity_bytes() * codec.codewords_per_page(4096),
             EccScheme::AdaptiveBch { codec, table } => {
                 let mut c = *codec;
                 c.t = table.t_for(pe_cycles);
@@ -200,7 +198,10 @@ mod tests {
         let adaptive = EccScheme::adaptive_bch(40);
         assert!(adaptive.parity_bytes_per_page(0) < adaptive.parity_bytes_per_page(3_000));
         let fixed = EccScheme::fixed_bch(40);
-        assert_eq!(fixed.parity_bytes_per_page(0), fixed.parity_bytes_per_page(3_000));
+        assert_eq!(
+            fixed.parity_bytes_per_page(0),
+            fixed.parity_bytes_per_page(3_000)
+        );
     }
 
     #[test]

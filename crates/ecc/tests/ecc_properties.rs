@@ -88,11 +88,14 @@ fn fig5_mechanism_worst_case_code_pays_its_latency_from_day_one() {
     let fixed_eol = fixed.decode_latency(end_of_life).as_ns_f64();
     assert!((fixed_eol - fixed_fresh) / fixed_fresh < 0.01);
     assert!(adaptive.decode_latency(fresh) < fixed.decode_latency(fresh) / 3);
-    assert_eq!(adaptive.decode_latency(end_of_life), fixed.decode_latency(end_of_life));
+    assert_eq!(
+        adaptive.decode_latency(end_of_life),
+        fixed.decode_latency(end_of_life)
+    );
 
     // Encoding, by contrast, is essentially free of the capability choice.
-    let encode_gap = fixed.encode_latency(fresh).as_ns_f64()
-        - adaptive.encode_latency(fresh).as_ns_f64();
+    let encode_gap =
+        fixed.encode_latency(fresh).as_ns_f64() - adaptive.encode_latency(fresh).as_ns_f64();
     assert!(encode_gap.abs() < 2_000.0);
 }
 
@@ -101,7 +104,11 @@ fn parity_overhead_stays_within_the_spare_area() {
     // A 2 KB codeword with t = 40 must still fit its parity in the 64-byte
     // spare area per 2 KB half-page plus the extra spare of modern parts.
     let codec = BchCodec::with_t(40);
-    assert!(codec.parity_bytes() <= 112, "parity {} bytes", codec.parity_bytes());
+    assert!(
+        codec.parity_bytes() <= 112,
+        "parity {} bytes",
+        codec.parity_bytes()
+    );
     let scheme = EccScheme::fixed_bch(40);
     assert!(scheme.parity_bytes_per_page(0) <= 224);
 }

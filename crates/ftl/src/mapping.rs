@@ -1,5 +1,5 @@
 //! A real page-mapped FTL: logical-to-physical mapping, greedy garbage
-//! collection and dynamic wear leveling.
+//! collection and dynamic wear leveling — on flat-memory data structures.
 //!
 //! SSDExplorer supports both the WAF abstraction and an actual FTL executed
 //! by the platform CPU. This module provides the latter as a self-contained,
@@ -7,9 +7,35 @@
 //! (blocks × pages per block); the SSD model charges its decisions with NAND
 //! timing, while unit and property tests use it standalone to verify mapping
 //! invariants and to cross-check the analytic WAF model.
+//!
+//! # Flat-memory representation
+//!
+//! The FTL sits on the per-page hot path of the page-mapped simulation mode,
+//! so its state is kept in dense arrays rather than hash maps:
+//!
+//! * **L2P**: `l2p[lpn]` holds the packed physical page number
+//!   (`block * pages_per_block + page`) of a logical page, or a sentinel for
+//!   unmapped — one bounds-checked index instead of a hash probe per lookup.
+//! * **Reverse map**: `page_lpn[ppn]` holds the logical page stored in a
+//!   physical page (or free/invalid sentinels), flattening the former
+//!   per-block `Vec<PageState>` into one contiguous allocation shared by all
+//!   blocks. Garbage collection walks a victim block as one cache-friendly
+//!   slice.
+//! * **Per-block metadata** (`write_ptr`, `valid`, `erase_count`) lives in
+//!   parallel `Vec`s indexed by block, and a **free-block bitset**
+//!   (`free_mask`) answers pool-membership queries in O(1) so the victim
+//!   scans skip free blocks without touching their metadata.
+//!
+//! The relocation scratch buffer is owned by the FTL and reused across
+//! collections, so a `write` performs **zero heap allocations** in steady
+//! state — the property the `SimSession` allocation suite pins.
+//!
+//! The behaviour (victim choice, wear-leveling decisions, tie-breaking, every
+//! counter) is bit-for-bit identical to the original `HashMap`-based
+//! implementation; `tests/ftl_properties.rs` replays arbitrary command
+//! streams against that original structure as an oracle to prove it.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Errors reported by the page-mapped FTL.
@@ -63,37 +89,46 @@ impl FtlStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PageState {
-    Free,
-    Valid(u64),
-    Invalid,
+/// `page_lpn` sentinel: the physical page has never been programmed since
+/// the last erase.
+const PAGE_FREE: u64 = u64::MAX;
+/// `page_lpn` sentinel: the physical page held data that has since been
+/// overwritten or trimmed.
+const PAGE_INVALID: u64 = u64::MAX - 1;
+/// `l2p` sentinel: the logical page is unmapped.
+const UNMAPPED: u64 = u64::MAX;
+
+/// A dense bitset over block indices, used to answer "is this block in the
+/// free pool?" in O(1) during victim scans.
+#[derive(Debug, Clone, Default)]
+struct BlockBitset {
+    words: Vec<u64>,
 }
 
-#[derive(Debug, Clone)]
-struct Block {
-    pages: Vec<PageState>,
-    write_ptr: u32,
-    valid: u32,
-    erase_count: u64,
-}
-
-impl Block {
-    fn new(pages_per_block: u32) -> Self {
-        Block {
-            pages: vec![PageState::Free; pages_per_block as usize],
-            write_ptr: 0,
-            valid: 0,
-            erase_count: 0,
+impl BlockBitset {
+    fn new(blocks: u32) -> Self {
+        BlockBitset {
+            words: vec![0; (blocks as usize).div_ceil(64)],
         }
     }
 
-    fn is_full(&self) -> bool {
-        self.write_ptr as usize >= self.pages.len()
+    #[inline]
+    fn set(&mut self, block: u32) {
+        self.words[block as usize / 64] |= 1u64 << (block % 64);
     }
 
-    fn invalid_count(&self) -> u32 {
-        self.write_ptr - self.valid
+    #[inline]
+    fn clear(&mut self, block: u32) {
+        self.words[block as usize / 64] &= !(1u64 << (block % 64));
+    }
+
+    #[inline]
+    fn contains(&self, block: u32) -> bool {
+        self.words[block as usize / 64] & (1u64 << (block % 64)) != 0
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -113,11 +148,26 @@ impl Block {
 #[derive(Debug, Clone)]
 pub struct PageMappedFtl {
     pages_per_block: u32,
-    blocks: Vec<Block>,
-    mapping: HashMap<u64, (u32, u32)>,
+    blocks: u32,
+    /// Packed physical page number per logical page, or [`UNMAPPED`].
+    l2p: Vec<u64>,
+    /// Logical page stored in each physical page, or a sentinel.
+    page_lpn: Vec<u64>,
+    /// Next free page index within each block (log-structured append point).
+    write_ptr: Vec<u32>,
+    /// Count of valid pages per block.
+    valid: Vec<u32>,
+    /// Erase count per block.
+    erase_count: Vec<u64>,
     open_block: u32,
     gc_open_block: u32,
+    /// Free pool in take/return order (position order is the wear-leveling
+    /// tie-breaker, so it is part of the FTL's observable behaviour).
     free_blocks: Vec<u32>,
+    /// O(1) membership mirror of `free_blocks`.
+    free_mask: BlockBitset,
+    /// Reusable scratch for the LPNs relocated out of a GC victim.
+    reloc_buf: Vec<u64>,
     logical_pages: u64,
     gc_threshold: usize,
     wear_level_threshold: u64,
@@ -143,17 +193,26 @@ impl PageMappedFtl {
         let physical_pages = blocks as u64 * pages_per_block as u64;
         let logical_pages =
             ((physical_pages as f64 / (1.0 + over_provisioning)).floor() as u64).max(1);
-        let all_blocks: Vec<Block> = (0..blocks).map(|_| Block::new(pages_per_block)).collect();
         let free_blocks: Vec<u32> = (2..blocks).rev().collect();
+        let mut free_mask = BlockBitset::new(blocks);
+        for &b in &free_blocks {
+            free_mask.set(b);
+        }
         let gc_threshold = 2.max(blocks as usize / 32);
         PageMappedFtl {
             wear_level_threshold: 16,
             pages_per_block,
-            blocks: all_blocks,
-            mapping: HashMap::new(),
+            blocks,
+            l2p: vec![UNMAPPED; logical_pages as usize],
+            page_lpn: vec![PAGE_FREE; physical_pages as usize],
+            write_ptr: vec![0; blocks as usize],
+            valid: vec![0; blocks as usize],
+            erase_count: vec![0; blocks as usize],
             open_block: 0,
             gc_open_block: 1,
             free_blocks,
+            free_mask,
+            reloc_buf: Vec::with_capacity(pages_per_block as usize),
             logical_pages,
             gc_threshold,
             stats: FtlStats::default(),
@@ -170,61 +229,129 @@ impl PageMappedFtl {
         self.pages_per_block
     }
 
+    /// Number of physical blocks managed.
+    pub fn physical_blocks(&self) -> u32 {
+        self.blocks
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> FtlStats {
         self.stats
     }
 
+    /// `true` if `block` currently sits in the free pool (O(1), answered by
+    /// the free-block bitset).
+    pub fn is_free_block(&self, block: u32) -> bool {
+        self.free_mask.contains(block)
+    }
+
+    /// Number of blocks currently in the free pool.
+    pub fn free_block_count(&self) -> usize {
+        debug_assert_eq!(self.free_mask.count(), self.free_blocks.len());
+        self.free_blocks.len()
+    }
+
     /// Current physical location of a logical page, if it has been written.
+    #[inline]
     pub fn lookup(&self, lpn: u64) -> Option<(u32, u32)> {
-        self.mapping.get(&lpn).copied()
+        match self.l2p.get(lpn as usize) {
+            Some(&ppn) if ppn != UNMAPPED => Some(self.unpack(ppn)),
+            _ => None,
+        }
     }
 
     /// Highest erase count across all blocks (wear-leveling quality metric).
     pub fn max_erase_count(&self) -> u64 {
-        self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+        self.erase_count.iter().copied().max().unwrap_or(0)
     }
 
     /// Lowest erase count across all blocks.
     pub fn min_erase_count(&self) -> u64 {
-        self.blocks.iter().map(|b| b.erase_count).min().unwrap_or(0)
+        self.erase_count.iter().copied().min().unwrap_or(0)
     }
 
+    /// Erase count of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn erase_count_of(&self, block: u32) -> u64 {
+        self.erase_count[block as usize]
+    }
+
+    #[inline]
+    fn pack(&self, blk: u32, page: u32) -> u64 {
+        blk as u64 * self.pages_per_block as u64 + page as u64
+    }
+
+    #[inline]
+    fn unpack(&self, ppn: u64) -> (u32, u32) {
+        (
+            (ppn / self.pages_per_block as u64) as u32,
+            (ppn % self.pages_per_block as u64) as u32,
+        )
+    }
+
+    #[inline]
+    fn is_full(&self, blk: u32) -> bool {
+        self.write_ptr[blk as usize] >= self.pages_per_block
+    }
+
+    #[inline]
+    fn invalid_count(&self, blk: u32) -> u32 {
+        self.write_ptr[blk as usize] - self.valid[blk as usize]
+    }
+
+    #[inline]
     fn invalidate(&mut self, lpn: u64) {
-        if let Some((blk, page)) = self.mapping.remove(&lpn) {
-            let block = &mut self.blocks[blk as usize];
-            block.pages[page as usize] = PageState::Invalid;
-            block.valid -= 1;
+        let ppn = std::mem::replace(&mut self.l2p[lpn as usize], UNMAPPED);
+        if ppn != UNMAPPED {
+            let blk = (ppn / self.pages_per_block as u64) as usize;
+            self.page_lpn[ppn as usize] = PAGE_INVALID;
+            self.valid[blk] -= 1;
         }
     }
 
     /// Removes the lowest-erase-count block from the free pool (dynamic wear
-    /// leveling).
+    /// leveling). Ties resolve to the earliest position in the pool, exactly
+    /// as the original `min_by_key` over the evolving free list did.
     fn take_free_block(&mut self) -> Result<u32, FtlError> {
-        let (pos, _) = self
-            .free_blocks
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &b)| self.blocks[b as usize].erase_count)
-            .ok_or(FtlError::OutOfSpace)?;
-        Ok(self.free_blocks.swap_remove(pos))
+        if self.free_blocks.is_empty() {
+            return Err(FtlError::OutOfSpace);
+        }
+        let mut pos = 0;
+        let mut best = self.erase_count[self.free_blocks[0] as usize];
+        for (i, &b) in self.free_blocks.iter().enumerate().skip(1) {
+            let count = self.erase_count[b as usize];
+            if count < best {
+                best = count;
+                pos = i;
+            }
+        }
+        let block = self.free_blocks.swap_remove(pos);
+        self.free_mask.clear(block);
+        Ok(block)
     }
 
     /// Appends `lpn` to the block `blk`, which must not be full.
+    #[inline]
     fn raw_append_to(&mut self, blk: u32, lpn: u64) -> (u32, u32) {
-        let block = &mut self.blocks[blk as usize];
-        debug_assert!(!block.is_full(), "raw_append_to requires a non-full block");
-        let page = block.write_ptr;
-        block.pages[page as usize] = PageState::Valid(lpn);
-        block.write_ptr += 1;
-        block.valid += 1;
-        self.mapping.insert(lpn, (blk, page));
+        debug_assert!(
+            !self.is_full(blk),
+            "raw_append_to requires a non-full block"
+        );
+        let page = self.write_ptr[blk as usize];
+        let ppn = self.pack(blk, page);
+        self.page_lpn[ppn as usize] = lpn;
+        self.write_ptr[blk as usize] = page + 1;
+        self.valid[blk as usize] += 1;
+        self.l2p[lpn as usize] = ppn;
         self.stats.nand_writes += 1;
         (blk, page)
     }
 
     fn append(&mut self, lpn: u64) -> Result<(u32, u32), FtlError> {
-        if self.blocks[self.open_block as usize].is_full() {
+        if self.is_full(self.open_block) {
             // Reclaim space first if the free pool is running low, then
             // switch to a fresh open block.
             while self.free_blocks.len() <= self.gc_threshold {
@@ -245,16 +372,24 @@ impl PageMappedFtl {
         if self.max_erase_count() - self.min_erase_count() < self.wear_level_threshold {
             return Ok(());
         }
-        let coldest = self
-            .blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| {
-                *i as u32 != self.open_block && *i as u32 != self.gc_open_block && b.is_full()
-            })
-            .min_by_key(|(_, b)| b.erase_count)
-            .map(|(i, _)| i as u32);
-        if let Some(victim) = coldest {
+        // First minimum in block order (ties resolve to the lowest index,
+        // as `min_by_key` over the block iterator did).
+        let mut coldest: Option<(u32, u64)> = None;
+        for blk in 0..self.blocks {
+            if blk == self.open_block
+                || blk == self.gc_open_block
+                || self.free_mask.contains(blk)
+                || !self.is_full(blk)
+            {
+                continue;
+            }
+            let count = self.erase_count[blk as usize];
+            match coldest {
+                Some((_, best)) if count >= best => {}
+                _ => coldest = Some((blk, count)),
+            }
+        }
+        if let Some((victim, _)) = coldest {
             let moved = self.reclaim_block(victim)?;
             self.stats.wear_level_moves += moved;
             self.stats.gc_relocations -= moved;
@@ -266,21 +401,31 @@ impl PageMappedFtl {
     /// with the most invalid pages). Returns `Ok(false)` when no block is
     /// worth collecting (no full block carries an invalid page).
     fn collect_one_victim(&mut self) -> Result<bool, FtlError> {
-        // Blocks in the free pool are never full, so filtering on fullness
-        // also excludes them; the two open blocks are excluded explicitly.
-        let victim = self
-            .blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| {
-                *i as u32 != self.open_block && *i as u32 != self.gc_open_block && b.is_full()
-            })
-            .max_by_key(|(_, b)| b.invalid_count())
-            .filter(|(_, b)| b.invalid_count() > 0)
-            .map(|(i, _)| i as u32);
-        let Some(victim) = victim else {
+        // Blocks in the free pool are never full, so the bitset skip mirrors
+        // the fullness filter; the two open blocks are excluded explicitly.
+        // Last maximum in block order (ties resolve to the highest index, as
+        // `max_by_key` over the block iterator did).
+        let mut victim: Option<(u32, u32)> = None;
+        for blk in 0..self.blocks {
+            if blk == self.open_block
+                || blk == self.gc_open_block
+                || self.free_mask.contains(blk)
+                || !self.is_full(blk)
+            {
+                continue;
+            }
+            let inv = self.invalid_count(blk);
+            match victim {
+                Some((_, best)) if inv < best => {}
+                _ => victim = Some((blk, inv)),
+            }
+        }
+        let Some((victim, invalid)) = victim else {
             return Ok(false);
         };
+        if invalid == 0 {
+            return Ok(false);
+        }
         self.reclaim_block(victim)?;
         Ok(true)
     }
@@ -290,33 +435,44 @@ impl PageMappedFtl {
     /// relocated. Relocation never re-enters collection: it takes fresh
     /// blocks straight from the free pool.
     fn reclaim_block(&mut self, victim: u32) -> Result<u64, FtlError> {
-        let victims: Vec<u64> = self.blocks[victim as usize]
-            .pages
-            .iter()
-            .filter_map(|p| match p {
-                PageState::Valid(lpn) => Some(*lpn),
-                _ => None,
-            })
-            .collect();
-        let moved = victims.len() as u64;
-        for lpn in victims {
+        let base = self.pack(victim, 0) as usize;
+        let end = base + self.write_ptr[victim as usize] as usize;
+        // The reusable scratch buffer keeps collection allocation-free in
+        // steady state (it only grows until it has seen a full block once).
+        let mut reloc = std::mem::take(&mut self.reloc_buf);
+        reloc.clear();
+        reloc.extend(
+            self.page_lpn[base..end]
+                .iter()
+                .copied()
+                .filter(|&lpn| lpn != PAGE_FREE && lpn != PAGE_INVALID),
+        );
+        let moved = reloc.len() as u64;
+        for &lpn in &reloc {
             self.invalidate(lpn);
-            if self.blocks[self.gc_open_block as usize].is_full() {
-                self.gc_open_block = self.take_free_block()?;
+            if self.is_full(self.gc_open_block) {
+                match self.take_free_block() {
+                    Ok(b) => self.gc_open_block = b,
+                    Err(e) => {
+                        self.reloc_buf = reloc;
+                        return Err(e);
+                    }
+                }
             }
             self.raw_append_to(self.gc_open_block, lpn);
             self.stats.gc_relocations += 1;
         }
+        self.reloc_buf = reloc;
         // Erase the victim and return it to the free pool.
-        let block = &mut self.blocks[victim as usize];
-        for p in &mut block.pages {
-            *p = PageState::Free;
-        }
-        block.write_ptr = 0;
-        block.valid = 0;
-        block.erase_count += 1;
+        let erase_base = self.pack(victim, 0) as usize;
+        let erase_end = erase_base + self.pages_per_block as usize;
+        self.page_lpn[erase_base..erase_end].fill(PAGE_FREE);
+        self.write_ptr[victim as usize] = 0;
+        self.valid[victim as usize] = 0;
+        self.erase_count[victim as usize] += 1;
         self.stats.erases += 1;
         self.free_blocks.push(victim);
+        self.free_mask.set(victim);
         Ok(moved)
     }
 
@@ -377,6 +533,7 @@ mod tests {
         let ftl = small_ftl();
         // 64*32 = 2048 physical pages, /1.25 = 1638 logical.
         assert_eq!(ftl.logical_pages(), 1638);
+        assert_eq!(ftl.physical_blocks(), 64);
     }
 
     #[test]
@@ -477,6 +634,29 @@ mod tests {
                 assert!(seen.insert(loc), "two LBAs map to the same physical page");
             }
         }
+    }
+
+    #[test]
+    fn free_bitset_mirrors_the_free_pool() {
+        let mut ftl = small_ftl();
+        // Initially blocks 2.. are free, 0 and 1 are the open blocks.
+        assert!(!ftl.is_free_block(0));
+        assert!(!ftl.is_free_block(1));
+        assert!(ftl.is_free_block(2));
+        assert_eq!(ftl.free_block_count(), 62);
+        let mut rng = ssdx_sim::rng::SimRng::new(21);
+        for _ in 0..10_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            ftl.write(lpn).unwrap();
+        }
+        // The bitset and the pool agree after heavy GC churn (the debug
+        // assertion inside free_block_count checks the counts match).
+        let free = ftl.free_block_count();
+        assert!(free > 0);
+        let mask_count = (0..ftl.physical_blocks())
+            .filter(|&b| ftl.is_free_block(b))
+            .count();
+        assert_eq!(mask_count, free);
     }
 
     #[test]

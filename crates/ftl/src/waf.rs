@@ -18,12 +18,16 @@ pub struct WorkloadMix {
 impl WorkloadMix {
     /// A purely sequential write stream.
     pub fn sequential() -> Self {
-        WorkloadMix { random_fraction: 0.0 }
+        WorkloadMix {
+            random_fraction: 0.0,
+        }
     }
 
     /// A uniformly random write stream.
     pub fn random() -> Self {
-        WorkloadMix { random_fraction: 1.0 }
+        WorkloadMix {
+            random_fraction: 1.0,
+        }
     }
 
     /// A mixed stream with the given random fraction (clamped to `[0, 1]`).

@@ -1,7 +1,12 @@
 //! Property-based tests of the flash translation layer: mapping consistency,
-//! trim semantics, write-amplification bounds and agreement between the
-//! analytic WAF model and the real page-mapped FTL.
+//! trim semantics, write-amplification bounds, agreement between the
+//! analytic WAF model and the real page-mapped FTL, and bit-for-bit
+//! state-identity of the flat-memory FTL against the original
+//! `HashMap`-based implementation (kept in `oracle/` as the reference).
 
+mod oracle;
+
+use oracle::OracleFtl;
 use proptest::prelude::*;
 use ssdx_ftl::{PageMappedFtl, WafModel, WorkloadMix};
 
@@ -56,6 +61,48 @@ proptest! {
                 prop_assert!(used.insert(loc));
             }
         }
+    }
+
+    #[test]
+    fn flat_ftl_is_state_identical_to_the_hashmap_oracle(
+        ops in prop::collection::vec(op_strategy(400), 1..1_200),
+        geometry in prop::sample::select(vec![(16u32, 32u32, 0.3f64), (8, 8, 0.15), (64, 16, 0.25), (12, 64, 0.4)]),
+    ) {
+        let (blocks, pages, op) = geometry;
+        let mut flat = PageMappedFtl::new(blocks, pages, op);
+        let mut oracle = OracleFtl::new(blocks, pages, op);
+        prop_assert_eq!(flat.logical_pages(), oracle.logical_pages());
+        // Drive both implementations with the same stream — including
+        // out-of-range addresses, so the error paths are compared too — and
+        // check every observable after every step.
+        for op in ops {
+            match op {
+                Op::Write(lpn) => {
+                    prop_assert_eq!(flat.write(lpn), oracle.write(lpn), "write({}) diverged", lpn);
+                }
+                Op::Trim(lpn) => {
+                    prop_assert_eq!(flat.trim(lpn), oracle.trim(lpn), "trim({}) diverged", lpn);
+                }
+                Op::Read(lpn) => {
+                    prop_assert_eq!(flat.read(lpn), oracle.read(lpn), "read({}) diverged", lpn);
+                }
+            }
+            prop_assert_eq!(flat.stats(), oracle.stats(), "stats diverged");
+        }
+        // Full end-state comparison: the complete L2P mapping, the erase
+        // count of every block and the wear extremes.
+        for lpn in 0..flat.logical_pages() {
+            prop_assert_eq!(flat.lookup(lpn), oracle.lookup(lpn), "mapping diverged at lpn {}", lpn);
+        }
+        for blk in 0..blocks {
+            prop_assert_eq!(
+                flat.erase_count_of(blk),
+                oracle.erase_count_of(blk),
+                "erase count diverged at block {}", blk
+            );
+        }
+        prop_assert_eq!(flat.max_erase_count(), oracle.max_erase_count());
+        prop_assert_eq!(flat.min_erase_count(), oracle.min_erase_count());
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The original `HashMap`-based page-mapped FTL, kept verbatim as the test
+//! oracle for the flat-memory rewrite.
+//!
+//! This is the implementation that shipped before the hot-path overhaul,
+//! preserved unmodified (only renamed to `OracleFtl`). The property suite in
+//! `ftl_properties.rs` replays arbitrary command streams through both
+//! implementations and asserts that every observable — mapping, statistics,
+//! erase counts, errors — stays identical, which is what proves the flat
+//! rewrite is a pure-speed change.
+
+use ssdx_ftl::{FtlError, FtlStats};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Free,
+    Valid(u64),
+    Invalid,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    pages: Vec<PageState>,
+    write_ptr: u32,
+    valid: u32,
+    erase_count: u64,
+}
+
+impl Block {
+    fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: vec![PageState::Free; pages_per_block as usize],
+            write_ptr: 0,
+            valid: 0,
+            erase_count: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.write_ptr as usize >= self.pages.len()
+    }
+
+    fn invalid_count(&self) -> u32 {
+        self.write_ptr - self.valid
+    }
+}
+
+/// The pre-overhaul page-mapped FTL (hash-map L2P, per-block page vectors).
+#[derive(Debug, Clone)]
+pub struct OracleFtl {
+    // Kept although the equivalence suite never reads it back: the oracle
+    // is a verbatim copy of the original structure.
+    #[allow(dead_code)]
+    pages_per_block: u32,
+    blocks: Vec<Block>,
+    mapping: HashMap<u64, (u32, u32)>,
+    open_block: u32,
+    gc_open_block: u32,
+    free_blocks: Vec<u32>,
+    logical_pages: u64,
+    gc_threshold: usize,
+    wear_level_threshold: u64,
+    stats: FtlStats,
+}
+
+impl OracleFtl {
+    pub fn new(blocks: u32, pages_per_block: u32, over_provisioning: f64) -> Self {
+        assert!(blocks >= 8, "need at least 8 physical blocks");
+        assert!(pages_per_block > 0, "pages per block must be non-zero");
+        assert!(
+            over_provisioning > 0.0,
+            "over-provisioning must be positive for garbage collection to make progress"
+        );
+        let physical_pages = blocks as u64 * pages_per_block as u64;
+        let logical_pages =
+            ((physical_pages as f64 / (1.0 + over_provisioning)).floor() as u64).max(1);
+        let all_blocks: Vec<Block> = (0..blocks).map(|_| Block::new(pages_per_block)).collect();
+        let free_blocks: Vec<u32> = (2..blocks).rev().collect();
+        let gc_threshold = 2.max(blocks as usize / 32);
+        OracleFtl {
+            wear_level_threshold: 16,
+            pages_per_block,
+            blocks: all_blocks,
+            mapping: HashMap::new(),
+            open_block: 0,
+            gc_open_block: 1,
+            free_blocks,
+            logical_pages,
+            gc_threshold,
+            stats: FtlStats::default(),
+        }
+    }
+
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    pub fn lookup(&self, lpn: u64) -> Option<(u32, u32)> {
+        self.mapping.get(&lpn).copied()
+    }
+
+    pub fn max_erase_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+    }
+
+    pub fn min_erase_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count).min().unwrap_or(0)
+    }
+
+    /// Erase count of one block (exposed for per-block state comparison).
+    pub fn erase_count_of(&self, block: u32) -> u64 {
+        self.blocks[block as usize].erase_count
+    }
+
+    fn invalidate(&mut self, lpn: u64) {
+        if let Some((blk, page)) = self.mapping.remove(&lpn) {
+            let block = &mut self.blocks[blk as usize];
+            block.pages[page as usize] = PageState::Invalid;
+            block.valid -= 1;
+        }
+    }
+
+    fn take_free_block(&mut self) -> Result<u32, FtlError> {
+        let (pos, _) = self
+            .free_blocks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| self.blocks[b as usize].erase_count)
+            .ok_or(FtlError::OutOfSpace)?;
+        Ok(self.free_blocks.swap_remove(pos))
+    }
+
+    fn raw_append_to(&mut self, blk: u32, lpn: u64) -> (u32, u32) {
+        let block = &mut self.blocks[blk as usize];
+        debug_assert!(!block.is_full(), "raw_append_to requires a non-full block");
+        let page = block.write_ptr;
+        block.pages[page as usize] = PageState::Valid(lpn);
+        block.write_ptr += 1;
+        block.valid += 1;
+        self.mapping.insert(lpn, (blk, page));
+        self.stats.nand_writes += 1;
+        (blk, page)
+    }
+
+    fn append(&mut self, lpn: u64) -> Result<(u32, u32), FtlError> {
+        if self.blocks[self.open_block as usize].is_full() {
+            while self.free_blocks.len() <= self.gc_threshold {
+                if !self.collect_one_victim()? {
+                    break;
+                }
+            }
+            self.maybe_wear_level()?;
+            self.open_block = self.take_free_block()?;
+        }
+        Ok(self.raw_append_to(self.open_block, lpn))
+    }
+
+    fn maybe_wear_level(&mut self) -> Result<(), FtlError> {
+        if self.max_erase_count() - self.min_erase_count() < self.wear_level_threshold {
+            return Ok(());
+        }
+        let coldest = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                *i as u32 != self.open_block && *i as u32 != self.gc_open_block && b.is_full()
+            })
+            .min_by_key(|(_, b)| b.erase_count)
+            .map(|(i, _)| i as u32);
+        if let Some(victim) = coldest {
+            let moved = self.reclaim_block(victim)?;
+            self.stats.wear_level_moves += moved;
+            self.stats.gc_relocations -= moved;
+        }
+        Ok(())
+    }
+
+    fn collect_one_victim(&mut self) -> Result<bool, FtlError> {
+        let victim = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                *i as u32 != self.open_block && *i as u32 != self.gc_open_block && b.is_full()
+            })
+            .max_by_key(|(_, b)| b.invalid_count())
+            .filter(|(_, b)| b.invalid_count() > 0)
+            .map(|(i, _)| i as u32);
+        let Some(victim) = victim else {
+            return Ok(false);
+        };
+        self.reclaim_block(victim)?;
+        Ok(true)
+    }
+
+    fn reclaim_block(&mut self, victim: u32) -> Result<u64, FtlError> {
+        let victims: Vec<u64> = self.blocks[victim as usize]
+            .pages
+            .iter()
+            .filter_map(|p| match p {
+                PageState::Valid(lpn) => Some(*lpn),
+                _ => None,
+            })
+            .collect();
+        let moved = victims.len() as u64;
+        for lpn in victims {
+            self.invalidate(lpn);
+            if self.blocks[self.gc_open_block as usize].is_full() {
+                self.gc_open_block = self.take_free_block()?;
+            }
+            self.raw_append_to(self.gc_open_block, lpn);
+            self.stats.gc_relocations += 1;
+        }
+        let block = &mut self.blocks[victim as usize];
+        for p in &mut block.pages {
+            *p = PageState::Free;
+        }
+        block.write_ptr = 0;
+        block.valid = 0;
+        block.erase_count += 1;
+        self.stats.erases += 1;
+        self.free_blocks.push(victim);
+        Ok(moved)
+    }
+
+    pub fn write(&mut self, lpn: u64) -> Result<(u32, u32), FtlError> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        self.invalidate(lpn);
+        self.stats.host_writes += 1;
+        self.append(lpn)
+    }
+
+    pub fn read(&self, lpn: u64) -> Result<Option<(u32, u32)>, FtlError> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        Ok(self.lookup(lpn))
+    }
+
+    pub fn trim(&mut self, lpn: u64) -> Result<(), FtlError> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        self.invalidate(lpn);
+        self.stats.trims += 1;
+        Ok(())
+    }
+}

@@ -180,9 +180,14 @@ mod tests {
     #[test]
     fn queue_depth_clamping() {
         assert_eq!(NvmeInterface::gen2_x8().queue_depth(), 65_536);
-        assert_eq!(NvmeInterface::gen2_x8().with_queue_depth(0).queue_depth(), 1);
         assert_eq!(
-            NvmeInterface::gen2_x8().with_queue_depth(1_000_000).queue_depth(),
+            NvmeInterface::gen2_x8().with_queue_depth(0).queue_depth(),
+            1
+        );
+        assert_eq!(
+            NvmeInterface::gen2_x8()
+                .with_queue_depth(1_000_000)
+                .queue_depth(),
             65_536
         );
     }

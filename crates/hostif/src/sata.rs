@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn ncq_window_is_bounded_at_32() {
         assert_eq!(SataInterface::sata2().queue_depth(), 32);
-        assert_eq!(SataInterface::sata2().with_queue_depth(64).queue_depth(), 32);
+        assert_eq!(
+            SataInterface::sata2().with_queue_depth(64).queue_depth(),
+            32
+        );
         assert_eq!(SataInterface::sata2().with_queue_depth(0).queue_depth(), 1);
         assert_eq!(SataInterface::sata2().with_queue_depth(8).queue_depth(), 8);
     }
@@ -130,7 +133,10 @@ mod tests {
     fn four_kb_transfer_time_is_tens_of_microseconds() {
         let s = SataInterface::sata2();
         let t = s.transfer_time(4096);
-        assert!(t >= SimTime::from_us(15) && t <= SimTime::from_us(25), "t = {t}");
+        assert!(
+            t >= SimTime::from_us(15) && t <= SimTime::from_us(25),
+            "t = {t}"
+        );
     }
 
     #[test]

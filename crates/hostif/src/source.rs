@@ -331,12 +331,16 @@ mod tests {
 
     #[test]
     fn workload_source_matches_its_pattern() {
-        let sw = Workload::builder(AccessPattern::SequentialWrite).command_count(16).build();
+        let sw = Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(16)
+            .build();
         assert_eq!(CommandSource::label(&sw), "SW");
         assert_eq!(sw.random_write_fraction(), 0.0);
         assert_eq!(CommandSource::commands(&sw).len(), 16);
 
-        let rr = Workload::builder(AccessPattern::RandomRead).command_count(4).build();
+        let rr = Workload::builder(AccessPattern::RandomRead)
+            .command_count(4)
+            .build();
         assert_eq!(rr.random_write_fraction(), 1.0);
     }
 
@@ -378,15 +382,25 @@ mod tests {
             write(i, i * 8192)
         })
         .with_random_write_fraction(2.0);
-        assert_eq!(src.random_write_fraction(), 1.0, "pinned values are clamped");
-        assert_eq!(calls.get(), 0, "a pinned fraction must not materialise the stream");
+        assert_eq!(
+            src.random_write_fraction(),
+            1.0,
+            "pinned values are clamped"
+        );
+        assert_eq!(
+            calls.get(),
+            0,
+            "a pinned fraction must not materialise the stream"
+        );
         let _ = src.commands();
         assert_eq!(calls.get(), 4);
     }
 
     #[test]
     fn references_and_boxes_are_sources_too() {
-        let w = Workload::builder(AccessPattern::SequentialWrite).command_count(4).build();
+        let w = Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(4)
+            .build();
         fn takes_source(s: impl CommandSource) -> usize {
             s.commands().len()
         }
@@ -407,7 +421,9 @@ mod tests {
         assert_send_sync::<CommandStream>();
         assert_send_sync::<HostCommand>();
         // Closure sources inherit the closure's thread safety.
-        fn fn_source_is_send_sync<F: Fn(u64) -> HostCommand + Send + Sync>(s: FnSource<F>) -> impl Send + Sync {
+        fn fn_source_is_send_sync<F: Fn(u64) -> HostCommand + Send + Sync>(
+            s: FnSource<F>,
+        ) -> impl Send + Sync {
             s
         }
         let _ = fn_source_is_send_sync(source_fn("t", 1, |i| write(i, 0)));

@@ -29,7 +29,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -134,7 +138,13 @@ impl TracePlayer {
                 HostOp::Write => "write",
                 HostOp::Trim => "trim",
             };
-            out.push_str(&format!("{} {} {} {}\n", c.issue_at.as_us(), op, c.offset, c.bytes));
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                c.issue_at.as_us(),
+                op,
+                c.offset,
+                c.bytes
+            ));
         }
         out
     }

@@ -237,10 +237,16 @@ mod tests {
 
     #[test]
     fn same_seed_reproduces_the_same_stream() {
-        let a = Workload::builder(AccessPattern::RandomWrite).seed(5).build();
-        let b = Workload::builder(AccessPattern::RandomWrite).seed(5).build();
+        let a = Workload::builder(AccessPattern::RandomWrite)
+            .seed(5)
+            .build();
+        let b = Workload::builder(AccessPattern::RandomWrite)
+            .seed(5)
+            .build();
         assert_eq!(a.commands(), b.commands());
-        let c = Workload::builder(AccessPattern::RandomWrite).seed(6).build();
+        let c = Workload::builder(AccessPattern::RandomWrite)
+            .seed(6)
+            .build();
         assert_ne!(a.commands(), c.commands());
     }
 

@@ -410,7 +410,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid AHB configuration")]
     fn invalid_config_panics_on_construction() {
-        let c = AhbConfig { masters: 0, ..AhbConfig::default() };
+        let c = AhbConfig {
+            masters: 0,
+            ..AhbConfig::default()
+        };
         let _ = AhbBus::new(c);
     }
 }

@@ -2,11 +2,11 @@
 //! variability and wear tracking.
 
 use crate::geometry::{GeometryError, NandConfig, PageAddr};
-use crate::timing::NandOp;
+use crate::timing::{NandOp, PageKind};
 use serde::{Deserialize, Serialize};
+use ssdx_sim::hash::FastHashMap;
 use ssdx_sim::rng::SimRng;
 use ssdx_sim::{Resource, SimTime};
-use std::collections::HashMap;
 
 /// Result of issuing an operation to a die.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,13 +48,31 @@ pub struct NandDie {
     id: u32,
     config: NandConfig,
     array: Resource,
-    wear: HashMap<u64, crate::wear::BlockWear>,
+    /// Per-block wear, keyed by flat block index. Lazily populated (only
+    /// touched blocks carry an entry) and hashed with the fixed-key
+    /// [`FastHashMap`] — the per-operation entry lookup sits on the
+    /// simulation's hottest path, where SipHash was pure overhead.
+    wear: FastHashMap<u64, crate::wear::BlockWear>,
     baseline_pe: u64,
     stats: DieStats,
     rng: SimRng,
     rng_seed: u64,
     jitter: f64,
+    /// Memoised `(pe_cycles, expected raw errors)` of the last page
+    /// operation: sequential traffic hammers blocks at one wear level, and
+    /// the RBER curve behind this value costs a `powf` per evaluation.
+    err_memo: (u64, f64),
+    /// Memoised nominal program times per page kind, keyed by the P/E count
+    /// they were computed at (`(pe_cycles, duration)` per [`PageKind`]).
+    prog_memo: [(u64, SimTime); 2],
+    /// Memoised nominal erase time, keyed by P/E count.
+    bers_memo: (u64, SimTime),
+    /// Array read time is wear-independent: cached once.
+    t_read: SimTime,
 }
+
+/// Memo slots start poisoned with a key no real input produces.
+const MEMO_EMPTY: u64 = u64::MAX;
 
 impl NandDie {
     /// Creates a fresh die with the given identifier and configuration.
@@ -64,14 +82,18 @@ impl NandDie {
         let rng_seed = seed ^ (id as u64).wrapping_mul(0x9E37_79B9);
         NandDie {
             id,
-            config,
             array: Resource::new(format!("nand-die-{id}")),
-            wear: HashMap::new(),
+            wear: FastHashMap::default(),
             baseline_pe: 0,
             stats: DieStats::default(),
             rng: SimRng::new(rng_seed),
             rng_seed,
             jitter: 0.05,
+            err_memo: (MEMO_EMPTY, 0.0),
+            prog_memo: [(MEMO_EMPTY, SimTime::ZERO); 2],
+            bers_memo: (MEMO_EMPTY, SimTime::ZERO),
+            t_read: config.timing.t_read(),
+            config,
         }
     }
 
@@ -155,24 +177,36 @@ impl NandDie {
         addr.validate(&self.config.geometry)?;
         let key = addr.flat_block(&self.config.geometry);
         let baseline = self.baseline_pe;
-        let wear_entry = self
-            .wear
-            .entry(key)
-            .or_insert_with(|| {
-                let mut w = crate::wear::BlockWear::new();
-                w.set_pe_cycles(baseline);
-                w
-            });
+        let wear_entry = self.wear.entry(key).or_insert_with(|| {
+            let mut w = crate::wear::BlockWear::new();
+            w.set_pe_cycles(baseline);
+            w
+        });
         let pe = wear_entry.pe_cycles();
-        let wear = self.config.wear.normalized_wear(pe);
 
+        // The nominal latencies and the RBER are pure functions of the
+        // block's P/E count; one-entry memos keyed by `pe` skip the float
+        // pipeline (including a `powf` for the RBER) on the overwhelmingly
+        // common repeat case. The RNG jitter draw below stays unconditional,
+        // so the per-die random stream is untouched.
         let nominal = match op {
-            NandOp::Read => self.config.timing.t_read(),
+            NandOp::Read => self.t_read,
             NandOp::Program => {
                 let kind = self.config.timing.page_kind(addr.page);
-                self.config.timing.t_prog(kind, wear)
+                let slot = &mut self.prog_memo[(kind == PageKind::Msb) as usize];
+                if slot.0 != pe {
+                    let wear = self.config.wear.normalized_wear(pe);
+                    *slot = (pe, self.config.timing.t_prog(kind, wear));
+                }
+                slot.1
             }
-            NandOp::Erase => self.config.timing.t_bers(wear),
+            NandOp::Erase => {
+                if self.bers_memo.0 != pe {
+                    let wear = self.config.wear.normalized_wear(pe);
+                    self.bers_memo = (pe, self.config.timing.t_bers(wear));
+                }
+                self.bers_memo.1
+            }
         };
         // Small per-operation jitter models cell-to-cell variation.
         let factor = 1.0 + self.rng.uniform_f64(-self.jitter, self.jitter);
@@ -183,8 +217,11 @@ impl NandDie {
         let expected_raw_errors = match op {
             NandOp::Erase => 0.0,
             _ => {
-                let bits = self.config.geometry.raw_page_bytes() as u64 * 8;
-                self.config.wear.expected_errors(pe, bits)
+                if self.err_memo.0 != pe {
+                    let bits = self.config.geometry.raw_page_bytes() as u64 * 8;
+                    self.err_memo = (pe, self.config.wear.expected_errors(pe, bits));
+                }
+                self.err_memo.1
             }
         };
 
@@ -236,7 +273,11 @@ mod tests {
     }
 
     fn addr(block: u32, page: u32) -> PageAddr {
-        PageAddr { plane: 0, block, page }
+        PageAddr {
+            plane: 0,
+            block,
+            page,
+        }
     }
 
     #[test]
@@ -298,7 +339,11 @@ mod tests {
     #[test]
     fn out_of_range_address_is_an_error() {
         let mut d = die();
-        let bad = PageAddr { plane: 9, block: 0, page: 0 };
+        let bad = PageAddr {
+            plane: 9,
+            block: 0,
+            page: 0,
+        };
         assert!(d.try_execute(SimTime::ZERO, NandOp::Read, bad).is_err());
     }
 

@@ -173,18 +173,36 @@ mod tests {
 
     #[test]
     fn zero_dimension_rejected() {
-        let g = NandGeometry { pages_per_block: 0, ..NandGeometry::default() };
+        let g = NandGeometry {
+            pages_per_block: 0,
+            ..NandGeometry::default()
+        };
         assert_eq!(g.validate(), Err(GeometryError::ZeroDimension));
     }
 
     #[test]
     fn page_addr_validation() {
         let g = NandGeometry::default();
-        let ok = PageAddr { plane: 1, block: 10, page: 127 };
+        let ok = PageAddr {
+            plane: 1,
+            block: 10,
+            page: 127,
+        };
         assert!(ok.validate(&g).is_ok());
-        let bad_plane = PageAddr { plane: 2, block: 0, page: 0 };
-        assert_eq!(bad_plane.validate(&g), Err(GeometryError::AddressOutOfRange));
-        let bad_page = PageAddr { plane: 0, block: 0, page: 128 };
+        let bad_plane = PageAddr {
+            plane: 2,
+            block: 0,
+            page: 0,
+        };
+        assert_eq!(
+            bad_plane.validate(&g),
+            Err(GeometryError::AddressOutOfRange)
+        );
+        let bad_page = PageAddr {
+            plane: 0,
+            block: 0,
+            page: 128,
+        };
         assert_eq!(bad_page.validate(&g), Err(GeometryError::AddressOutOfRange));
     }
 
@@ -212,8 +230,15 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let a = PageAddr { plane: 1, block: 2, page: 3 };
+        let a = PageAddr {
+            plane: 1,
+            block: 2,
+            page: 3,
+        };
         assert_eq!(a.to_string(), "p1/b2/pg3");
-        assert_eq!(GeometryError::ZeroDimension.to_string(), "geometry dimension is zero");
+        assert_eq!(
+            GeometryError::ZeroDimension.to_string(),
+            "geometry dimension is zero"
+        );
     }
 }

@@ -110,8 +110,7 @@ impl MlcTimingProfile {
             PageKind::Lsb => self.t_prog_min_us as f64,
             PageKind::Msb => {
                 // MSB pages sit at ~85 % of the worst-case datasheet figure.
-                self.t_prog_min_us as f64
-                    + 0.85 * (self.t_prog_max_us - self.t_prog_min_us) as f64
+                self.t_prog_min_us as f64 + 0.85 * (self.t_prog_max_us - self.t_prog_min_us) as f64
             }
         };
         let slow = 1.0 + self.wear_slowdown * wear.max(0.0);
@@ -129,8 +128,7 @@ impl MlcTimingProfile {
     /// minimum toward the maximum as the block wears out.
     pub fn t_bers(&self, wear: f64) -> SimTime {
         let w = wear.clamp(0.0, 1.0);
-        let us = self.t_bers_min_us as f64
-            + w * (self.t_bers_max_us - self.t_bers_min_us) as f64;
+        let us = self.t_bers_min_us as f64 + w * (self.t_bers_max_us - self.t_bers_min_us) as f64;
         SimTime::from_ns_f64(us * 1_000.0)
     }
 
@@ -225,11 +223,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_profiles() {
-        let p = MlcTimingProfile { t_prog_max_us: 10, ..MlcTimingProfile::default() };
+        let p = MlcTimingProfile {
+            t_prog_max_us: 10,
+            ..MlcTimingProfile::default()
+        };
         assert_eq!(p.validate(), Err(TimingError::InvertedRange));
-        let p = MlcTimingProfile { t_read_us: 0, ..MlcTimingProfile::default() };
+        let p = MlcTimingProfile {
+            t_read_us: 0,
+            ..MlcTimingProfile::default()
+        };
         assert_eq!(p.validate(), Err(TimingError::ZeroTime));
-        let p = MlcTimingProfile { wear_slowdown: -1.0, ..MlcTimingProfile::default() };
+        let p = MlcTimingProfile {
+            wear_slowdown: -1.0,
+            ..MlcTimingProfile::default()
+        };
         assert_eq!(p.validate(), Err(TimingError::BadSlowdown));
     }
 

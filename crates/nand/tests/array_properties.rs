@@ -112,11 +112,30 @@ fn a_full_block_lifecycle_wears_exactly_one_cycle() {
     let block = 12;
     // Program every page of the block, then erase it.
     for page in 0..config.geometry.pages_per_block {
-        let addr = PageAddr { plane: 0, block, page };
+        let addr = PageAddr {
+            plane: 0,
+            block,
+            page,
+        };
         die.execute(die.ready_at(), NandOp::Program, addr);
     }
-    die.execute(die.ready_at(), NandOp::Erase, PageAddr { plane: 0, block, page: 0 });
-    assert_eq!(die.block_pe_cycles(PageAddr { plane: 0, block, page: 0 }), 1);
+    die.execute(
+        die.ready_at(),
+        NandOp::Erase,
+        PageAddr {
+            plane: 0,
+            block,
+            page: 0,
+        },
+    );
+    assert_eq!(
+        die.block_pe_cycles(PageAddr {
+            plane: 0,
+            block,
+            page: 0
+        }),
+        1
+    );
     let stats = die.stats();
     assert_eq!(stats.programs, config.geometry.pages_per_block as u64);
     assert_eq!(stats.erases, 1);
@@ -133,13 +152,24 @@ fn interleaving_two_dies_halves_the_makespan() {
 
     let mut single_end = SimTime::ZERO;
     for page in 0..pages {
-        let addr = PageAddr { plane: 0, block: 0, page };
-        single_end = single.execute(SimTime::ZERO, NandOp::Program, addr).end.max(single_end);
+        let addr = PageAddr {
+            plane: 0,
+            block: 0,
+            page,
+        };
+        single_end = single
+            .execute(SimTime::ZERO, NandOp::Program, addr)
+            .end
+            .max(single_end);
     }
 
     let mut pair_end = SimTime::ZERO;
     for page in 0..pages {
-        let addr = PageAddr { plane: 0, block: 0, page };
+        let addr = PageAddr {
+            plane: 0,
+            block: 0,
+            page,
+        };
         // Distribute LSB/MSB page *pairs* across the two dies so each die
         // sees the same mix of fast and slow pages.
         let outcome = if (page / 2) % 2 == 0 {
@@ -150,5 +180,8 @@ fn interleaving_two_dies_halves_the_makespan() {
         pair_end = pair_end.max(outcome.end);
     }
     let ratio = pair_end.as_ns_f64() / single_end.as_ns_f64();
-    assert!((0.4..0.62).contains(&ratio), "two dies should roughly halve the makespan, ratio {ratio}");
+    assert!(
+        (0.4..0.62).contains(&ratio),
+        "two dies should roughly halve the makespan, ratio {ratio}"
+    );
 }

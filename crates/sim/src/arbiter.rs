@@ -87,16 +87,35 @@ impl RoundRobinArbiter {
     /// Grants among a list of requesting port indices (convenience wrapper
     /// around [`grant`](Self::grant)).
     ///
+    /// The empty and single-requester cases — the latter is what a bus model
+    /// issues once per transfer on the simulation hot path — are resolved
+    /// without materialising a request vector, so they perform no heap
+    /// allocation.
+    ///
     /// # Panics
     ///
     /// Panics if any index is out of range.
     pub fn grant_among(&mut self, requesting: &[usize]) -> Option<usize> {
-        let mut requests = vec![false; self.ports];
         for &p in requesting {
             assert!(p < self.ports, "port index {p} out of range");
-            requests[p] = true;
         }
-        self.grant(&requests)
+        match *requesting {
+            [] => None,
+            // A sole requester always wins, whatever the rotation state —
+            // identical outcome to running the full search.
+            [port] => {
+                self.last_granted = Some(port);
+                self.grants += 1;
+                Some(port)
+            }
+            _ => {
+                let mut requests = vec![false; self.ports];
+                for &p in requesting {
+                    requests[p] = true;
+                }
+                self.grant(&requests)
+            }
+        }
     }
 
     /// Clears arbitration history.

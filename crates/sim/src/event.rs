@@ -9,7 +9,10 @@ use std::fmt;
 /// Identifiers are unique within one [`crate::Scheduler`] and increase
 /// monotonically in scheduling order, which also serves as the tie-breaker
 /// for events scheduled at the same instant (FIFO among equals, the same
-/// deterministic rule SystemC applies to its evaluate queue).
+/// deterministic rule SystemC applies to its evaluate queue). The
+/// scheduler's payload arena recycles *slots*, never identifiers: an
+/// `EventId` observed once is never handed out again, so identifiers remain
+/// safe to use as correlation keys across a whole simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EventId(pub(crate) u64);
 

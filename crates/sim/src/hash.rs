@@ -1,0 +1,119 @@
+//! Fast, deterministic hashing for simulation-internal maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 seeded from process
+//! entropy: robust against adversarial keys, but an order of magnitude
+//! slower than needed for the trusted integer keys the simulator's hot paths
+//! use (block indices, page numbers), and — worse for a simulator —
+//! differently seeded on every run. The hasher here is a fixed-key
+//! multiply-xor finisher (the same construction as rustc's `FxHasher`):
+//! two multiplies per `u64` key, identical iteration-independent behaviour
+//! across runs and machines.
+//!
+//! Determinism note: nothing in the platform may observe a map's *iteration
+//! order*; maps hashed with [`FastHasher`] are only ever keyed lookups and
+//! order-independent folds. The hasher being fixed-key (rather than
+//! entropy-seeded) removes the one way the standard hasher could have leaked
+//! nondeterminism into a simulation.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by trusted simulation-internal integers, using
+/// [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+/// Fixed-key multiply-xor hasher for trusted integer keys.
+///
+/// # Example
+///
+/// ```
+/// use ssdx_sim::hash::FastHashMap;
+///
+/// let mut wear: FastHashMap<u64, u32> = FastHashMap::default();
+/// wear.insert(42, 7);
+/// assert_eq!(wear.get(&42), Some(&7));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte-slice fallback (string keys etc.); the hot paths hit the
+        // fixed-width methods below.
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.state = (self.state.rotate_left(5) ^ value).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(value as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    #[test]
+    fn hashing_is_deterministic_across_builders() {
+        let a = BuildHasherDefault::<FastHasher>::default();
+        let b = BuildHasherDefault::<FastHasher>::default();
+        for key in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(a.hash_one(key), b.hash_one(key));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let build = BuildHasherDefault::<FastHasher>::default();
+        let mut seen = std::collections::HashSet::new();
+        for key in 0u64..10_000 {
+            seen.insert(build.hash_one(key));
+        }
+        assert_eq!(seen.len(), 10_000, "sequential keys must not collide");
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut fast: FastHashMap<u64, u64> = FastHashMap::default();
+        let mut std_map = std::collections::HashMap::new();
+        for i in 0..1_000u64 {
+            let k = i.wrapping_mul(0x9E37_79B9);
+            fast.insert(k, i);
+            std_map.insert(k, i);
+        }
+        assert_eq!(fast.len(), std_map.len());
+        for (k, v) in &std_map {
+            assert_eq!(fast.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn byte_slice_keys_hash_consistently() {
+        let build = BuildHasherDefault::<FastHasher>::default();
+        assert_eq!(build.hash_one("abc"), build.hash_one("abc"));
+        assert_ne!(build.hash_one("abc"), build.hash_one("abd"));
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod arbiter;
 pub mod event;
+pub mod hash;
 pub mod resource;
 pub mod rng;
 pub mod scheduler;

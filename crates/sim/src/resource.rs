@@ -249,8 +249,12 @@ mod tests {
     fn try_reserve_fails_when_busy() {
         let mut r = Resource::new("x");
         r.reserve(SimTime::ZERO, SimTime::from_ns(100));
-        assert!(r.try_reserve(SimTime::from_ns(50), SimTime::from_ns(10)).is_none());
-        assert!(r.try_reserve(SimTime::from_ns(100), SimTime::from_ns(10)).is_some());
+        assert!(r
+            .try_reserve(SimTime::from_ns(50), SimTime::from_ns(10))
+            .is_none());
+        assert!(r
+            .try_reserve(SimTime::from_ns(100), SimTime::from_ns(10))
+            .is_some());
     }
 
     #[test]

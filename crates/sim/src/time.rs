@@ -23,7 +23,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::from_us(60) + SimTime::from_ns(500);
 /// assert_eq!(t.as_ns(), 60_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -33,26 +35,31 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates a time from picoseconds.
+    #[inline]
     pub const fn from_ps(ps: u64) -> Self {
         SimTime(ps)
     }
 
     /// Creates a time from nanoseconds.
+    #[inline]
     pub const fn from_ns(ns: u64) -> Self {
         SimTime(ns * 1_000)
     }
 
     /// Creates a time from microseconds.
+    #[inline]
     pub const fn from_us(us: u64) -> Self {
         SimTime(us * 1_000_000)
     }
 
     /// Creates a time from milliseconds.
+    #[inline]
     pub const fn from_ms(ms: u64) -> Self {
         SimTime(ms * 1_000_000_000)
     }
 
     /// Creates a time from seconds.
+    #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimTime(s * 1_000_000_000_000)
     }
@@ -61,6 +68,7 @@ impl SimTime {
     /// rounding to the nearest picosecond.
     ///
     /// Negative inputs saturate to zero.
+    #[inline]
     pub fn from_ns_f64(ns: f64) -> Self {
         if ns <= 0.0 {
             return SimTime::ZERO;
@@ -69,56 +77,67 @@ impl SimTime {
     }
 
     /// Raw picosecond count.
+    #[inline]
     pub const fn as_ps(self) -> u64 {
         self.0
     }
 
     /// Whole nanoseconds (truncating).
+    #[inline]
     pub const fn as_ns(self) -> u64 {
         self.0 / 1_000
     }
 
     /// Whole microseconds (truncating).
+    #[inline]
     pub const fn as_us(self) -> u64 {
         self.0 / 1_000_000
     }
 
     /// Whole milliseconds (truncating).
+    #[inline]
     pub const fn as_ms(self) -> u64 {
         self.0 / 1_000_000_000
     }
 
     /// Time expressed as fractional seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e12
     }
 
     /// Time expressed as fractional microseconds.
+    #[inline]
     pub fn as_us_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
     /// Time expressed as fractional nanoseconds.
+    #[inline]
     pub fn as_ns_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
     /// Returns `true` if the time is zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// Saturating subtraction: returns zero instead of underflowing.
+    #[inline]
     pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(rhs.0))
     }
 
     /// Checked addition.
+    #[inline]
     pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
         self.0.checked_add(rhs.0).map(SimTime)
     }
 
     /// The larger of two times.
+    #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         if self >= other {
             self
@@ -128,6 +147,7 @@ impl SimTime {
     }
 
     /// The smaller of two times.
+    #[inline]
     pub fn min(self, other: SimTime) -> SimTime {
         if self <= other {
             self
@@ -142,6 +162,7 @@ impl SimTime {
     /// # Panics
     ///
     /// Panics if `factor` is negative or not finite.
+    #[inline]
     pub fn scale(self, factor: f64) -> SimTime {
         assert!(
             factor.is_finite() && factor >= 0.0,
@@ -153,12 +174,14 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimTime) {
         self.0 += rhs.0;
     }
@@ -166,12 +189,14 @@ impl AddAssign for SimTime {
 
 impl Sub for SimTime {
     type Output = SimTime;
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
         SimTime(self.0 - rhs.0)
     }
 }
 
 impl SubAssign for SimTime {
+    #[inline]
     fn sub_assign(&mut self, rhs: SimTime) {
         self.0 -= rhs.0;
     }
@@ -179,6 +204,7 @@ impl SubAssign for SimTime {
 
 impl Mul<u64> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn mul(self, rhs: u64) -> SimTime {
         SimTime(self.0 * rhs)
     }
@@ -186,6 +212,7 @@ impl Mul<u64> for SimTime {
 
 impl Div<u64> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn div(self, rhs: u64) -> SimTime {
         SimTime(self.0 / rhs)
     }
@@ -269,6 +296,7 @@ impl Frequency {
     }
 
     /// Frequency in hertz.
+    #[inline]
     pub fn as_hz(self) -> u64 {
         self.hz
     }
@@ -279,11 +307,13 @@ impl Frequency {
     }
 
     /// Clock period.
+    #[inline]
     pub fn period(self) -> SimTime {
         SimTime::from_ps(1_000_000_000_000 / self.hz)
     }
 
     /// Duration of `cycles` clock cycles.
+    #[inline]
     pub fn cycles_to_time(self, cycles: u64) -> SimTime {
         // Multiply first in u128 to avoid losing sub-period remainders.
         let ps = (cycles as u128 * 1_000_000_000_000u128) / self.hz as u128;
@@ -291,6 +321,7 @@ impl Frequency {
     }
 
     /// Number of whole clock cycles elapsed in `time` (truncating).
+    #[inline]
     pub fn time_to_cycles(self, time: SimTime) -> u64 {
         ((time.as_ps() as u128 * self.hz as u128) / 1_000_000_000_000u128) as u64
     }
@@ -316,6 +347,7 @@ impl fmt::Display for Frequency {
 /// # Panics
 ///
 /// Panics if `bytes_per_sec` is zero.
+#[inline]
 pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> SimTime {
     assert!(bytes_per_sec > 0, "bandwidth must be non-zero");
     let ps = (bytes as u128 * 1_000_000_000_000u128).div_ceil(bytes_per_sec as u128);
@@ -411,9 +443,13 @@ mod tests {
 
     #[test]
     fn sum_of_times() {
-        let total: SimTime = [SimTime::from_ns(1), SimTime::from_ns(2), SimTime::from_ns(3)]
-            .into_iter()
-            .sum();
+        let total: SimTime = [
+            SimTime::from_ns(1),
+            SimTime::from_ns(2),
+            SimTime::from_ns(3),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total.as_ns(), 6);
     }
 }

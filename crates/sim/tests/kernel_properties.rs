@@ -56,6 +56,54 @@ proptest! {
     }
 
     #[test]
+    fn batched_delivery_equals_event_by_event_delivery(times in prop::collection::vec(0u64..200, 0..300)) {
+        // The arena heap's batch drain must deliver exactly the sequence the
+        // one-at-a-time pop does — same payload order, same timestamps —
+        // only grouped by instant.
+        let mut singles: Scheduler<usize> = Scheduler::new();
+        let mut batched: Scheduler<usize> = Scheduler::new();
+        for (i, t) in times.iter().enumerate() {
+            singles.schedule(SimTime::from_ns(*t), i);
+            batched.schedule(SimTime::from_ns(*t), i);
+        }
+        let mut single_order = Vec::new();
+        while let Some(ev) = singles.pop() {
+            single_order.push((ev.at, ev.payload));
+        }
+        let mut batch_order = Vec::new();
+        let mut buf = Vec::new();
+        while batched.pop_batch_into(&mut buf) > 0 {
+            let at = buf[0].at;
+            for ev in &buf {
+                prop_assert_eq!(ev.at, at, "a batch must share one instant");
+                batch_order.push((ev.at, ev.payload));
+            }
+        }
+        prop_assert_eq!(single_order, batch_order);
+        prop_assert_eq!(singles.processed(), batched.processed());
+    }
+
+    #[test]
+    fn arena_capacity_is_bounded_by_peak_pending(depth in 1usize..40, rounds in 1u64..2_000) {
+        // Streaming `rounds` events through a calendar that never holds more
+        // than `depth` pending must not grow the arena past `depth` slots:
+        // the zero-allocation steady state of the index-arena design.
+        let mut s: Scheduler<u64> = Scheduler::new();
+        for i in 0..depth as u64 {
+            s.schedule(SimTime::from_ns(i), i);
+        }
+        for r in 0..rounds {
+            let ev = s.pop().expect("pending events remain");
+            s.schedule(ev.at + SimTime::from_ns(depth as u64), r);
+        }
+        prop_assert_eq!(s.pending(), depth);
+        prop_assert!(
+            s.arena_capacity() <= depth,
+            "arena grew past peak pending: {} > {}", s.arena_capacity(), depth
+        );
+    }
+
+    #[test]
     fn resource_total_busy_equals_sum_of_durations(durations in prop::collection::vec(1u64..10_000, 1..100)) {
         let mut resource = Resource::new("busy");
         let mut expected = SimTime::ZERO;

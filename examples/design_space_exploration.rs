@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     let configs: Vec<SsdConfig> = table2_configs().into_iter().map(steady_state).collect();
 
-    for host in [HostInterfaceConfig::Sata2, HostInterfaceConfig::nvme_gen2_x8()] {
+    for host in [
+        HostInterfaceConfig::Sata2,
+        HostInterfaceConfig::nvme_gen2_x8(),
+    ] {
         println!("================================================================");
         println!("host interface: {}", host.name());
         println!("================================================================");

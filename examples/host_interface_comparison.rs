@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     let mut host_axis = Axis::new("host");
-    for host in [HostInterfaceConfig::Sata2, HostInterfaceConfig::nvme_gen2_x8()] {
+    for host in [
+        HostInterfaceConfig::Sata2,
+        HostInterfaceConfig::nvme_gen2_x8(),
+    ] {
         host_axis = host_axis.point(host.name(), move |cfg| cfg.host_interface = host);
     }
 

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     println!("platform     : {}", config.architecture_label());
-    println!("raw capacity : {:.1} GiB", config.raw_capacity_bytes() as f64 / (1u64 << 30) as f64);
+    println!(
+        "raw capacity : {:.1} GiB",
+        config.raw_capacity_bytes() as f64 / (1u64 << 30) as f64
+    );
     println!("queue depth  : {}", config.queue_depth());
     println!();
 
@@ -41,6 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flash_best = ssd.flash_path_mbps(&workload);
     println!("host interface + DRAM best case : {host_best:.1} MB/s");
     println!("DRAM -> flash back end          : {flash_best:.1} MB/s");
-    println!("delivered by the full pipeline  : {:.1} MB/s", report.throughput_mbps);
+    println!(
+        "delivered by the full pipeline  : {:.1} MB/s",
+        report.throughput_mbps
+    );
     Ok(())
 }

@@ -22,7 +22,11 @@ const REFERENCE_MBPS: [(AccessPattern, f64); 4] = [
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ocz_vertex_like();
-    println!("simulated drive: {} ({})", config.name, config.architecture_label());
+    println!(
+        "simulated drive: {} ({})",
+        config.name,
+        config.architecture_label()
+    );
     println!();
     let mut ssd = Ssd::try_new(config)?;
 

@@ -56,7 +56,10 @@ fn every_reexport_resolves() {
     assert!(waf.waf(ssdexplorer::ftl::WorkloadMix::random()) >= 1.0);
 
     // core: configuration builder round-trip.
-    let config = SsdConfig::builder("smoke").topology(2, 2, 1).build().unwrap();
+    let config = SsdConfig::builder("smoke")
+        .topology(2, 2, 1)
+        .build()
+        .unwrap();
     assert_eq!(config.total_dies(), 4);
 }
 

@@ -40,7 +40,10 @@ fn sequential_write_report_is_internally_consistent() {
     // Utilizations are fractions.
     let u = report.utilization;
     for value in [u.host_link, u.dram, u.cpu, u.ahb, u.channel_bus, u.die] {
-        assert!((0.0..=1.0 + 1e-9).contains(&value), "utilization {value} out of range");
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&value),
+            "utilization {value} out of range"
+        );
     }
 }
 
@@ -105,9 +108,14 @@ fn nvme_and_sata_share_the_same_back_end_behaviour_when_cached() {
 
 #[test]
 fn random_write_amplification_shows_up_in_nand_traffic() {
-    let seq = Ssd::new(small_config("seq")).simulate(&workload(AccessPattern::SequentialWrite, 512));
+    let seq =
+        Ssd::new(small_config("seq")).simulate(&workload(AccessPattern::SequentialWrite, 512));
     let rnd = Ssd::new(small_config("rnd")).simulate(&workload(AccessPattern::RandomWrite, 512));
-    assert!(rnd.waf > 2.0, "random WAF should be well above 1, got {}", rnd.waf);
+    assert!(
+        rnd.waf > 2.0,
+        "random WAF should be well above 1, got {}",
+        rnd.waf
+    );
     assert!((seq.waf - 1.0).abs() < 1e-9);
     // Amplification is physical: more NAND programs for the same host bytes.
     assert!(rnd.nand_page_programs as f64 > 1.8 * seq.nand_page_programs as f64);
@@ -117,7 +125,10 @@ fn random_write_amplification_shows_up_in_nand_traffic() {
 fn read_only_workloads_never_program_the_array() {
     for pattern in [AccessPattern::SequentialRead, AccessPattern::RandomRead] {
         let report = Ssd::new(small_config("reads")).simulate(&workload(pattern, 256));
-        assert_eq!(report.nand_page_programs, 0, "{pattern:?} must not program pages");
+        assert_eq!(
+            report.nand_page_programs, 0,
+            "{pattern:?} must not program pages"
+        );
         assert!(report.nand_page_reads > 0);
     }
 }
@@ -132,8 +143,11 @@ fn trace_replay_matches_equivalent_synthetic_workload() {
     }
     let trace = TracePlayer::parse(&text).expect("trace parses");
 
-    let synthetic = Ssd::new(small_config("synthetic"))
-        .simulate(&Workload::builder(AccessPattern::SequentialWrite).command_count(256).build());
+    let synthetic = Ssd::new(small_config("synthetic")).simulate(
+        &Workload::builder(AccessPattern::SequentialWrite)
+            .command_count(256)
+            .build(),
+    );
     let replayed = Ssd::new(small_config("replayed")).simulate(&trace);
 
     assert_eq!(synthetic.commands, replayed.commands);

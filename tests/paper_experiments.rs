@@ -92,13 +92,19 @@ fn fig3_shape_sata_window_flattens_no_cache_and_c6_saturates() {
     let c6 = by_name("C6");
     let c1 = by_name("C1");
     let target = 0.95 * sweep.interface_plus_dram_mbps;
-    assert!(c6.ssd_cache_mbps >= target, "C6 {} vs target {target}", c6.ssd_cache_mbps);
+    assert!(
+        c6.ssd_cache_mbps >= target,
+        "C6 {} vs target {target}",
+        c6.ssd_cache_mbps
+    );
     assert!(c10.ssd_cache_mbps >= target);
     assert!(c1.ssd_cache_mbps < target);
     assert!(c4.ssd_cache_mbps < target);
 
     // And among the saturating points, C6 is the cheaper controller.
-    let best = sweep.optimal_design_point(0.95).expect("sweep is non-empty");
+    let best = sweep
+        .optimal_design_point(0.95)
+        .expect("sweep is non-empty");
     assert_eq!(best.config_name, "C6");
 }
 
@@ -125,7 +131,11 @@ fn fig4_shape_nvme_removes_the_host_bottleneck() {
     }
     // Internal parallelism is now visible end to end.
     let c1 = sweep.points.iter().find(|p| p.config_name == "C1").unwrap();
-    let c10 = sweep.points.iter().find(|p| p.config_name == "C10").unwrap();
+    let c10 = sweep
+        .points
+        .iter()
+        .find(|p| p.config_name == "C10")
+        .unwrap();
     assert!(c10.ssd_no_cache_mbps > 5.0 * c1.ssd_no_cache_mbps);
 }
 
@@ -147,7 +157,11 @@ fn fig5_shape_adaptive_bch_wins_reads_until_end_of_life() {
     // Writes are insensitive to the ECC choice at every point.
     for (f, a) in fixed.iter().zip(&adaptive) {
         let gap = (f.write_mbps - a.write_mbps).abs() / f.write_mbps.max(1e-9);
-        assert!(gap < 0.1, "write gap {gap} at endurance {}", f.normalized_endurance);
+        assert!(
+            gap < 0.1,
+            "write gap {gap} at endurance {}",
+            f.normalized_endurance
+        );
     }
     // Wear slows writes down.
     assert!(fixed[2].write_mbps < fixed[0].write_mbps);
@@ -178,5 +192,8 @@ fn table_configurations_match_the_paper_listing() {
     assert_eq!(t2[5].architecture_label(), "16-DDR-buf;16-CHN;8-WAY;4-DIE");
     let t3 = table3_configs();
     assert_eq!(t3.len(), 8);
-    assert_eq!(t3[7].architecture_label(), "32-DDR-buf;32-CHN;16-WAY;16-DIE");
+    assert_eq!(
+        t3[7].architecture_label(),
+        "32-DDR-buf;32-CHN;16-WAY;16-DIE"
+    );
 }

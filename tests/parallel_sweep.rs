@@ -80,9 +80,8 @@ fn parallel_execution_works_with_setup_hooks_and_custom_sources() {
     // Endurance axes carry platform-preparation hooks (artificial aging)
     // that must also fan out deterministically; the source is a closure
     // generator shared by reference across the workers.
-    let explorer = Explorer::new(base_config()).over(explorer::endurance_axis(&[
-        0.0, 0.25, 0.5, 0.75, 1.0,
-    ]));
+    let explorer =
+        Explorer::new(base_config()).over(explorer::endurance_axis(&[0.0, 0.25, 0.5, 0.75, 1.0]));
     let source = source_fn("gen", 64, |i| HostCommand {
         id: i,
         op: HostOp::Read,
@@ -91,7 +90,9 @@ fn parallel_execution_works_with_setup_hooks_and_custom_sources() {
         issue_at: SimTime::ZERO,
     });
     let sequential = explorer.run(&source).unwrap();
-    let parallel = ParallelExecutor::with_threads(4).run(&explorer, &source).unwrap();
+    let parallel = ParallelExecutor::with_threads(4)
+        .run(&explorer, &source)
+        .unwrap();
     assert_eq!(fingerprint(&sequential), fingerprint(&parallel));
     // Aging must actually bite: the end-of-life read point is slower than
     // the fresh one in both runs.
@@ -120,8 +121,7 @@ fn paper_studies_stay_consistent_on_the_parallel_path() {
             .unwrap(),
     ];
     let w = workload(128);
-    let study =
-        explorer::host_interface_study(HostInterfaceConfig::Sata2, &configs, &w).unwrap();
+    let study = explorer::host_interface_study(HostInterfaceConfig::Sata2, &configs, &w).unwrap();
     #[allow(deprecated)]
     let legacy = explorer::sweep_host_interface(HostInterfaceConfig::Sata2, &configs, &w);
     assert_eq!(legacy, study);
@@ -139,7 +139,10 @@ fn speedup_meter_reports_identity_and_positive_times() {
     let explorer = eight_point_explorer();
     let w = workload(64);
     let speedup = measure_sweep_speedup(&explorer, &w, 4).unwrap();
-    assert!(speedup.identical, "parallel sweep must match sequential byte for byte");
+    assert!(
+        speedup.identical,
+        "parallel sweep must match sequential byte for byte"
+    );
     assert_eq!(speedup.points, 8);
     assert_eq!(speedup.threads, 4);
     assert!(speedup.sequential_seconds > 0.0);

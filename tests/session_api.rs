@@ -39,7 +39,10 @@ fn session_probe_callbacks_arrive_in_order() {
     impl Probe for OrderingProbe {
         fn on_command(&mut self, record: &CommandRecord) {
             assert!(!self.finished, "no command may follow on_finish");
-            assert_eq!(record.index, self.next_index, "records arrive in stream order");
+            assert_eq!(
+                record.index, self.next_index,
+                "records arrive in stream order"
+            );
             assert!(record.completed_at >= record.admitted_at);
             self.next_index += 1;
         }
@@ -52,7 +55,10 @@ fn session_probe_callbacks_arrive_in_order() {
             self.snapshots_seen += 1;
         }
         fn on_finish(&mut self, report: &PerfReport) {
-            assert_eq!(report.commands, self.next_index, "finish fires after every command");
+            assert_eq!(
+                report.commands, self.next_index,
+                "finish fires after every command"
+            );
             self.finished = true;
         }
     }
@@ -162,7 +168,11 @@ fn closure_sources_run_through_the_same_pipeline_as_explicit_streams() {
 #[test]
 fn boxed_dyn_sources_are_accepted() {
     let sources: Vec<Box<dyn CommandSource>> = vec![
-        Box::new(Workload::builder(AccessPattern::SequentialWrite).command_count(32).build()),
+        Box::new(
+            Workload::builder(AccessPattern::SequentialWrite)
+                .command_count(32)
+                .build(),
+        ),
         Box::new(TracePlayer::parse("0 write 0 4096\n1 read 0 4096\n").unwrap()),
     ];
     let mut ssd = Ssd::new(small_config("dyn"));

@@ -22,7 +22,11 @@ fn channel_plus_ecc_read_pipeline_orders_stages_correctly() {
     );
     let ecc = EccScheme::fixed_bch(40);
     let mut decoder = Resource::new("decoder");
-    let addr = PageAddr { plane: 0, block: 1, page: 3 };
+    let addr = PageAddr {
+        plane: 0,
+        block: 1,
+        page: 3,
+    };
 
     let read = channel.execute(SimTime::ZERO, 0, 1, NandOp::Read, addr, 4096 + 224);
     let pe = channel.die(0, 1).unwrap().block_pe_cycles(addr);
@@ -31,17 +35,26 @@ fn channel_plus_ecc_read_pipeline_orders_stages_correctly() {
         ecc.decode_latency_for(4096, pe, read.expected_raw_errors),
     );
 
-    assert!(read.complete_at > SimTime::from_us(60), "array read plus bus transfer");
+    assert!(
+        read.complete_at > SimTime::from_us(60),
+        "array read plus bus transfer"
+    );
     assert!(decode.start >= read.complete_at);
-    assert!(decode.end > decode.start + SimTime::from_us(50), "a 40-bit decode is expensive");
+    assert!(
+        decode.end > decode.start + SimTime::from_us(50),
+        "a 40-bit decode is expensive"
+    );
 }
 
 #[test]
 fn channel_aging_increases_required_correction_and_latency() {
-    let mut channel =
-        ChannelController::new(0, ChannelConfig::new(1, 1), NandConfig::default(), 7);
+    let mut channel = ChannelController::new(0, ChannelConfig::new(1, 1), NandConfig::default(), 7);
     let ecc = EccScheme::adaptive_bch(40);
-    let addr = PageAddr { plane: 0, block: 0, page: 0 };
+    let addr = PageAddr {
+        plane: 0,
+        block: 0,
+        page: 0,
+    };
 
     let fresh_pe = channel.die(0, 0).unwrap().block_pe_cycles(addr);
     let fresh_latency = ecc.decode_latency_for(2048, fresh_pe, 0.5);
@@ -77,7 +90,10 @@ fn waf_abstraction_and_real_ftl_agree_on_traffic_direction() {
     // The greedy analytic bound and the measured greedy collector should sit
     // in the same ballpark (well within 2x of each other).
     let ratio = measured / predicted;
-    assert!((0.4..2.5).contains(&ratio), "measured {measured} vs predicted {predicted}");
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "measured {measured} vs predicted {predicted}"
+    );
 
     // Sequential overwrites: both say (close to) no amplification.
     let mut seq = PageMappedFtl::new(64, 32, 0.25);
@@ -101,7 +117,12 @@ fn firmware_descriptor_traffic_fits_between_dram_accesses() {
 
     let firmware = cpu.execute_command_overhead(SimTime::ZERO);
     let descriptors = ahb.transfer(firmware.start, 0, 0, 128);
-    let data = dram.access(firmware.end.max(descriptors.end), 0, 4096, AccessKind::Write);
+    let data = dram.access(
+        firmware.end.max(descriptors.end),
+        0,
+        4096,
+        AccessKind::Write,
+    );
 
     assert!(firmware.end > firmware.start);
     assert!(descriptors.end > firmware.start);
@@ -123,7 +144,11 @@ fn shared_control_gang_finishes_a_multi_way_burst_sooner() {
             NandConfig::default(),
             11,
         );
-        let addr = PageAddr { plane: 0, block: 0, page: 0 };
+        let addr = PageAddr {
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
         let mut last_bus = SimTime::ZERO;
         for way in 0..4 {
             let out = channel.execute(SimTime::ZERO, way, 0, NandOp::Program, addr, 2048 + 64);
@@ -150,6 +175,9 @@ fn dram_refresh_and_bus_contention_are_visible_at_scale() {
     }
     let stats = buffer.stats();
     assert_eq!(stats.accesses, 1_000);
-    assert!(stats.refreshes > 50, "refresh must fire during a ~ms-long burst");
+    assert!(
+        stats.refreshes > 50,
+        "refresh must fire during a ~ms-long burst"
+    );
     assert!(stats.bus_busy > SimTime::from_us(500));
 }

@@ -275,7 +275,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Union drawing each variant with probability proportional to its weight.
     pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
         let total_weight = variants.iter().map(|(w, _)| *w as u64).sum();
         assert!(total_weight > 0, "prop_oneof! weights sum to zero");
         Union {
