@@ -9,8 +9,11 @@
 //! This file is its own test binary so it can install a counting global
 //! allocator without affecting any other suite.
 
-use ssdx_core::{CompletionLog, FtlMode, Ssd, SsdConfig};
-use ssdx_hostif::{AccessPattern, Workload};
+use ssdx_core::{
+    ClassHistograms, CompletionLog, FtlMode, LatencyHistogram, Ssd, SsdConfig, SteadyStateCutoff,
+};
+use ssdx_hostif::{AccessPattern, HostOp, Workload};
+use ssdx_sim::SimTime;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -108,6 +111,38 @@ fn stepping_a_warm_session_never_allocates() {
     assert_eq!(
         allocs, 0,
         "page-mapped step loop allocated {allocs} times on a warm platform"
+    );
+
+    // The metrics histograms are inline arrays: constructing, recording,
+    // merging and querying them never touches the heap — which is what
+    // licenses the session to record per-class tail latencies on the hot
+    // path.
+    let before = allocations();
+    {
+        let mut h = LatencyHistogram::new();
+        let mut other = LatencyHistogram::new();
+        let mut classes = ClassHistograms::new();
+        for i in 0..10_000u64 {
+            h.record(SimTime::from_ns(i * 131 + 7));
+            other.record(SimTime::from_us(i));
+            classes.record(
+                if i % 3 == 0 {
+                    HostOp::Read
+                } else {
+                    HostOp::Write
+                },
+                SimTime::from_ns(i),
+            );
+        }
+        h.merge(&other);
+        assert!(h.quantile(0.999) >= h.quantile(0.5));
+        assert!(classes.total().count() == 10_000);
+        assert!(SteadyStateCutoff::Commands(5).admits(5, SimTime::ZERO));
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "histogram construct/record/merge/quantile must never allocate"
     );
 
     // A capacity-reserved probe observes every record without allocating.

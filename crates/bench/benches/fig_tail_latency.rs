@@ -1,0 +1,62 @@
+//! Tail-latency figure (repo extension) — steady-state percentiles per
+//! command class across the generative workload suite.
+//!
+//! The paper's figures report mean throughput; fleets are judged on
+//! p99/p99.9 under skewed, bursty traffic. This bench first prints the
+//! percentile table of a bench-sized tail-latency study (deterministic —
+//! the `tails` integration suite asserts two runs are byte-identical),
+//! then criterion-benchmarks the study itself and the raw histogram
+//! record/quantile path, so both the simulation cost and the metrics
+//! overhead have a recorded trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdx_core::{metrics, LatencyHistogram, SsdConfig, SteadyStateCutoff};
+use ssdx_sim::SimTime;
+use std::hint::black_box;
+
+const STUDY_COMMANDS: u64 = 2_048;
+
+fn study() -> ssdx_core::TailStudy {
+    let base = ssdx_bench::steady_state(
+        SsdConfig::builder("tail-bench")
+            .topology(4, 2, 2)
+            .dram_buffers(4)
+            .build()
+            .expect("the bench configuration validates"),
+    );
+    metrics::tail_latency_study(
+        &base,
+        STUDY_COMMANDS,
+        SteadyStateCutoff::Commands(STUDY_COMMANDS / 8),
+    )
+    .expect("the bench configuration validates")
+}
+
+fn print_table() {
+    println!(
+        "\n=== Tail latency: generative workloads, {STUDY_COMMANDS} commands each, \
+         first {} trimmed as warmup ===",
+        STUDY_COMMANDS / 8
+    );
+    println!("{}", study().to_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig_tail_latency");
+    group.sample_size(10);
+    group.bench_function("study", |b| b.iter(|| black_box(study().sweep.len())));
+    group.bench_function("histogram_record_quantile", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for i in 0..4_096u64 {
+                h.record(SimTime::from_ns(black_box(i * 397 + 13)));
+            }
+            black_box(h.quantile(0.999))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,9 +1,16 @@
 //! Regenerates every table and figure of the SSDExplorer paper's evaluation.
 //!
-//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|speed|speedup|tables]`.
+//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|speed|speedup|tails|tables]`.
 //! Results are printed as aligned text tables; every section renders into
 //! one shared `fmt::Write` buffer that is printed (and reused) per section,
 //! so table formatting never allocates a `String` per cell.
+//!
+//! The `tails` subcommand runs the tail-latency study: the generative
+//! workload suite (zipfian-skewed, bursty on/off, mixed block sizes,
+//! read-modify-write) on a steady-state platform, reporting p50/p95/p99/
+//! p99.9 per command class with the first eighth of each stream trimmed as
+//! warmup. The output is fully deterministic (`--json` emits the
+//! machine-readable form).
 //!
 //! The `speed` subcommand is the simulation-speed measurement suite:
 //!
@@ -18,8 +25,8 @@
 
 use ssdx_core::configs::{fig5_config, ocz_vertex_like, table2_configs, table3_configs};
 use ssdx_core::{
-    explorer, speed, CachePolicy, HostInterfaceConfig, ParallelExecutor, SpeedBaseline, Ssd,
-    SsdConfig,
+    explorer, metrics, speed, CachePolicy, HostInterfaceConfig, ParallelExecutor, SpeedBaseline,
+    Ssd, SsdConfig, SteadyStateCutoff,
 };
 use ssdx_ecc::EccScheme;
 use ssdx_hostif::{AccessPattern, Workload};
@@ -281,6 +288,51 @@ fn parallel_speedup(out: &mut String) {
     );
 }
 
+/// Commands per workload in the tail-latency study.
+const TAIL_COMMANDS: u64 = 8_192;
+
+/// Builds the tail-latency study on the canonical steady-state platform:
+/// one eighth of each stream is trimmed as warmup.
+fn tail_study() -> ssdx_core::TailStudy {
+    let base = steady_state(table2_configs().remove(5));
+    metrics::tail_latency_study(
+        &base,
+        TAIL_COMMANDS,
+        SteadyStateCutoff::Commands(TAIL_COMMANDS / 8),
+    )
+    .expect("the table II configuration validates")
+}
+
+fn tail_latency(out: &mut String) {
+    section(
+        out,
+        "Tail latency — generative workloads, steady-state percentiles per class",
+    );
+    let study = tail_study();
+    let _ = writeln!(
+        out,
+        "{} commands per workload, first {} trimmed as warmup\n",
+        TAIL_COMMANDS,
+        TAIL_COMMANDS / 8
+    );
+    out.push_str(&study.to_table());
+    let _ = writeln!(out);
+}
+
+/// The tails suite: print the percentile table, or emit JSON with
+/// `--json`. Deterministic — two runs print identical bytes.
+fn tails_suite(args: &[String]) -> i32 {
+    let study = tail_study();
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", study.to_json());
+    } else {
+        let mut out = String::new();
+        tail_latency(&mut out);
+        print!("{out}");
+    }
+    0
+}
+
 fn cache_policy_note(out: &mut String) {
     // Small sanity print showing the two DRAM-buffer policies side by side on
     // the default platform, mirroring the discussion in Section IV-A.
@@ -385,6 +437,7 @@ fn main() {
         "fig6" => fig6_simulation_speed(&mut out),
         "speed" => std::process::exit(speed_suite(&args[1..])),
         "speedup" => parallel_speedup(&mut out),
+        "tails" => std::process::exit(tails_suite(&args[1..])),
         "tables" => {
             print_table2(&mut out);
             print_table3(&mut out);
@@ -393,12 +446,13 @@ fn main() {
         _ => {
             // Full run: flush the shared buffer after each section so the
             // output streams while the later (long) experiments still run.
-            let sections: [fn(&mut String); 8] = [
+            let sections: [fn(&mut String); 9] = [
                 print_table2,
                 fig2_validation,
                 fig3_sata_sweep,
                 fig4_pcie_sweep,
                 fig5_wearout,
+                tail_latency,
                 print_table3,
                 fig6_simulation_speed,
                 parallel_speedup,

@@ -44,6 +44,7 @@
 //! ```
 
 use crate::config::{CachePolicy, ConfigError, HostInterfaceConfig, SsdConfig};
+use crate::metrics::SteadyStateCutoff;
 use crate::report::PerfReport;
 use crate::ssd::Ssd;
 use serde::{Deserialize, Serialize};
@@ -234,6 +235,10 @@ pub struct SweepJob {
     pub coordinates: Vec<AxisValue>,
     /// The fully mutated configuration the platform is built from.
     pub config: SsdConfig,
+    /// Warmup trimming applied to the run's per-class tail histograms
+    /// (inherited from [`Explorer::steady_state`]; never affects the
+    /// legacy report fields).
+    pub steady_state: SteadyStateCutoff,
     prepare: Vec<PrepareHook>,
 }
 
@@ -267,9 +272,12 @@ impl SweepJob {
         for hook in &self.prepare {
             hook(&mut ssd);
         }
+        let mut session = ssd.session(source);
+        session.steady_state(self.steady_state);
+        let report = session.finish();
         Ok(SweepPoint {
             coordinates: self.coordinates.clone(),
-            report: ssd.simulate(source),
+            report,
         })
     }
 }
@@ -428,6 +436,7 @@ impl Sweep {
 pub struct Explorer {
     base: SsdConfig,
     axes: Vec<Axis>,
+    steady_state: SteadyStateCutoff,
 }
 
 impl Explorer {
@@ -437,12 +446,24 @@ impl Explorer {
         Explorer {
             base,
             axes: Vec::new(),
+            steady_state: SteadyStateCutoff::None,
         }
     }
 
     /// Adds a swept dimension.
     pub fn over(mut self, axis: Axis) -> Self {
         self.axes.push(axis);
+        self
+    }
+
+    /// Applies warmup trimming to every evaluated point: completions the
+    /// cutoff rejects are excluded from the per-class tail histograms
+    /// ([`PerfReport::class_latency`](crate::PerfReport::class_latency)).
+    /// The legacy report fields are untouched, so a sweep with a cutoff is
+    /// still byte-identical to one without it everywhere the golden
+    /// equivalence capture looks.
+    pub fn steady_state(mut self, cutoff: SteadyStateCutoff) -> Self {
+        self.steady_state = cutoff;
         self
     }
 
@@ -475,6 +496,7 @@ impl Explorer {
         let mut jobs = vec![SweepJob {
             coordinates: Vec::new(),
             config: self.base.clone(),
+            steady_state: self.steady_state,
             prepare: Vec::new(),
         }];
         for axis in &self.axes {
@@ -498,6 +520,7 @@ impl Explorer {
                     next.push(SweepJob {
                         coordinates,
                         config,
+                        steady_state: self.steady_state,
                         prepare,
                     });
                 }
@@ -555,6 +578,49 @@ impl Explorer {
         S: CommandSource + Sync + ?Sized,
     {
         crate::parallel::ParallelExecutor::new().run(self, source)
+    }
+
+    /// Runs the sweep once per source, prepending a `workload` axis to the
+    /// result: every [`SweepPoint`] gains a leading
+    /// `workload=<source label>` coordinate, and the sweep's `axes` lead
+    /// with `"workload"`. This is how workload *parameters* (zipfian skew,
+    /// burst shape, block-size mix, …) become sweep axes — encode each
+    /// parameter choice as its own labelled source (the generative sources
+    /// take `with_label` overrides for exactly this, so two burst shapes
+    /// never collide on the default `bursty` label).
+    ///
+    /// The workload axis varies slowest (all points of the first source,
+    /// then all points of the second, …); within one source the usual
+    /// cartesian order applies. Each source's product is fanned out through
+    /// [`run_parallel`](Self::run_parallel), which by the determinism
+    /// contract changes nothing about the results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the expansion errors of [`jobs`](Self::jobs) and the
+    /// earliest failing job's [`SweepError::InvalidPoint`].
+    pub fn run_workloads(
+        &self,
+        sources: &[&(dyn CommandSource + Sync)],
+    ) -> Result<Sweep, SweepError> {
+        let mut axes = vec!["workload".to_string()];
+        axes.extend(self.axis_names());
+        let mut points = Vec::new();
+        for source in sources {
+            let sweep = self.run_parallel(source)?;
+            points.reserve(sweep.points.len());
+            for mut point in sweep.points {
+                point.coordinates.insert(
+                    0,
+                    AxisValue {
+                        axis: "workload".to_string(),
+                        value: source.label(),
+                    },
+                );
+                points.push(point);
+            }
+        }
+        Ok(Sweep { axes, points })
     }
 }
 
@@ -994,6 +1060,54 @@ mod tests {
     }
 
     #[test]
+    fn run_workloads_prepends_the_workload_axis() {
+        let sw = quick_workload();
+        let rr = Workload::builder(AccessPattern::RandomRead)
+            .command_count(192)
+            .build();
+        let explorer =
+            Explorer::new(small_table().remove(0)).over_values("channels", [2u32, 4], |cfg, &c| {
+                cfg.channels = c;
+                cfg.dram_buffers = c;
+            });
+        let sweep = explorer.run_workloads(&[&sw, &rr]).unwrap();
+        assert_eq!(
+            sweep.axes,
+            vec!["workload".to_string(), "channels".to_string()]
+        );
+        assert_eq!(sweep.len(), 4, "2 workloads x 2 channel counts");
+        assert_eq!(sweep.points[0].value("workload"), Some("SW"));
+        assert_eq!(sweep.points[3].value("workload"), Some("RR"));
+        assert_eq!(sweep.points[3].value("channels"), Some("4"));
+        // Each workload's slice is byte-identical to running it directly.
+        let direct = explorer.run(&rr).unwrap();
+        assert_eq!(
+            format!("{:?}", direct.points[1].report),
+            format!("{:?}", sweep.points[3].report)
+        );
+    }
+
+    #[test]
+    fn steady_state_cutoff_flows_into_every_sweep_point() {
+        let explorer =
+            Explorer::new(small_table().remove(0)).steady_state(SteadyStateCutoff::Commands(64));
+        let sweep = explorer.run(&quick_workload()).unwrap();
+        assert_eq!(
+            sweep.points[0].report.class_latency.count(),
+            192 - 64,
+            "the first 64 completions are warmup"
+        );
+        // The legacy fields are untouched by the cutoff.
+        let untrimmed = Explorer::new(small_table().remove(0))
+            .run(&quick_workload())
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", untrimmed.points[0].report),
+            format!("{:?}", sweep.points[0].report)
+        );
+    }
+
+    #[test]
     fn sweep_results_are_serialization_ready() {
         // The vendored serde is a marker stand-in; this pins the derive so
         // swapping in the real serde keeps `Sweep` dumpable by experiments.
@@ -1096,6 +1210,7 @@ mod tests {
             nand_page_reads: 0,
             latency: latency.clone(),
             utilization: UtilizationBreakdown::default(),
+            class_latency: Box::new(crate::metrics::ClassHistograms::new()),
         };
         let sweep = Sweep {
             axes: vec!["channels".to_string()],

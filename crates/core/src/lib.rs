@@ -18,6 +18,9 @@
 //! * [`explorer::host_interface_study`] — the optimal-design-point sweeps of
 //!   Figs. 3 and 4 over the Table II configurations ([`configs::table2_configs`]);
 //! * [`explorer::wearout_study`] — the ECC/wear-out study of Fig. 5;
+//! * [`metrics::tail_latency_study`] — steady-state p50/p95/p99/p99.9 per
+//!   command class across the generative workload suite (zipfian skew,
+//!   bursty arrivals, mixed block sizes, read-modify-write);
 //! * [`speed::measure_kcps_sweep`] — the simulation-speed study of Fig. 6
 //!   over the Table III configurations ([`configs::table3_configs`]);
 //! * [`configs::ocz_vertex_like`] — the validation configuration of Fig. 2.
@@ -51,6 +54,7 @@ pub mod config;
 pub mod configs;
 pub mod explorer;
 pub mod layout;
+pub mod metrics;
 pub mod parallel;
 pub mod report;
 pub mod session;
@@ -68,6 +72,10 @@ pub use explorer::{
 #[allow(deprecated)]
 pub use explorer::{sweep_host_interface, wearout_sweep};
 pub use layout::{PageAllocator, PageTarget};
+pub use metrics::{
+    tail_latency_study, ClassHistograms, CommandClass, LatencyHistogram, SteadyStateCutoff,
+    TailStudy, TailSummary,
+};
 pub use parallel::ParallelExecutor;
 pub use report::{PerfReport, UtilizationBreakdown};
 pub use session::{CommandRecord, CompletionLog, Probe, SessionSnapshot, SimSession};

@@ -1,6 +1,7 @@
 //! Performance reports: the per-component breakdown the paper's figures are
-//! built from.
+//! built from, extended with per-command-class tail-latency histograms.
 
+use crate::metrics::{ClassHistograms, CommandClass, TailSummary};
 use serde::{Deserialize, Serialize};
 use ssdx_sim::stats::LatencyHistogram;
 use ssdx_sim::SimTime;
@@ -28,7 +29,7 @@ pub struct UtilizationBreakdown {
 /// Derives `Serialize`/`Deserialize` (via the vendored serde stand-in) so
 /// experiment harnesses can dump reports alongside their inputs.
 #[must_use = "a performance report carries the measured results"]
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct PerfReport {
     /// Configuration name (e.g. "C6").
     pub config_name: String,
@@ -54,10 +55,48 @@ pub struct PerfReport {
     pub nand_page_programs: u64,
     /// Physical NAND page reads issued.
     pub nand_page_reads: u64,
-    /// End-to-end command latency distribution.
+    /// End-to-end command latency distribution over the whole run — the
+    /// legacy [`ssdx_sim::stats::LatencyHistogram`] (power-of-two buckets,
+    /// part of the golden capture format), distinct from the metrics
+    /// histograms in [`class_latency`](Self::class_latency).
     pub latency: LatencyHistogram,
     /// Per-component utilization.
     pub utilization: UtilizationBreakdown,
+    /// Steady-state latency histograms per command class (read / write /
+    /// trim), recorded past the session's
+    /// [`SteadyStateCutoff`](crate::SteadyStateCutoff). Digest them with
+    /// [`tails`](Self::tails) / [`tail`](Self::tail). Boxed: the inline
+    /// bucket arrays are ~46 KB, and sweeps hold one report per point —
+    /// boxing keeps report moves pointer-sized (one allocation at
+    /// `finish`, far from the per-step hot path).
+    pub class_latency: Box<ClassHistograms>,
+}
+
+impl fmt::Debug for PerfReport {
+    /// The `Debug` rendering is the golden-equivalence capture format: it
+    /// pins exactly the pre-metrics field set, character for character
+    /// (`tests/golden/perf_reports.txt` compares it byte-for-byte across
+    /// every subsystem corner). The tail-latency extension renders through
+    /// [`tails`](Self::tails) and `Display` instead, so growing the report
+    /// never invalidates the capture.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PerfReport")
+            .field("config_name", &self.config_name)
+            .field("architecture", &self.architecture)
+            .field("workload", &self.workload)
+            .field("policy", &self.policy)
+            .field("commands", &self.commands)
+            .field("bytes", &self.bytes)
+            .field("elapsed", &self.elapsed)
+            .field("throughput_mbps", &self.throughput_mbps)
+            .field("iops", &self.iops)
+            .field("waf", &self.waf)
+            .field("nand_page_programs", &self.nand_page_programs)
+            .field("nand_page_reads", &self.nand_page_reads)
+            .field("latency", &self.latency)
+            .field("utilization", &self.utilization)
+            .finish()
+    }
 }
 
 impl PerfReport {
@@ -69,6 +108,27 @@ impl PerfReport {
     /// Approximate 99th-percentile command latency.
     pub fn p99_latency(&self) -> SimTime {
         self.latency.percentile(99.0)
+    }
+
+    /// Steady-state percentile digest of one command class.
+    pub fn tail(&self, class: CommandClass) -> TailSummary {
+        TailSummary::from_histogram(class, self.class_latency.class(class))
+    }
+
+    /// Steady-state percentile digests of all three classes, in
+    /// [`CommandClass::ALL`] order.
+    pub fn tails(&self) -> [TailSummary; 3] {
+        self.class_latency.summaries()
+    }
+
+    /// Steady-state latency at quantile `q` (`0.0..=1.0`) for one command
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn tail_quantile(&self, class: CommandClass, q: f64) -> SimTime {
+        self.class_latency.class(class).quantile(q)
     }
 
     /// A compact single-line summary, handy for sweep printouts.
@@ -114,6 +174,21 @@ impl fmt::Display for PerfReport {
             self.mean_latency(),
             self.p99_latency()
         )?;
+        for tail in self.tails() {
+            if tail.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "tail ({:<5})  : p50 {}, p95 {}, p99 {}, p99.9 {} over {} steady-state samples",
+                tail.class.label(),
+                tail.p50,
+                tail.p95,
+                tail.p99,
+                tail.p999,
+                tail.count,
+            )?;
+        }
         writeln!(
             f,
             "utilization   : host {:.0}%  dram {:.0}%  cpu {:.0}%  ahb {:.0}%  channel {:.0}%  die {:.0}%",
@@ -135,6 +210,9 @@ mod tests {
         let mut latency = LatencyHistogram::new();
         latency.record(SimTime::from_us(100));
         latency.record(SimTime::from_us(300));
+        let mut class_latency = ClassHistograms::new();
+        class_latency.record(ssdx_hostif::HostOp::Write, SimTime::from_us(100));
+        class_latency.record(ssdx_hostif::HostOp::Write, SimTime::from_us(300));
         PerfReport {
             config_name: "C1".to_string(),
             architecture: "4-DDR-buf;4-CHN;4-WAY;2-DIE".to_string(),
@@ -157,6 +235,7 @@ mod tests {
                 channel_bus: 0.3,
                 die: 0.6,
             },
+            class_latency: Box::new(class_latency),
         }
     }
 
@@ -174,6 +253,32 @@ mod tests {
         assert!(text.contains("SW"));
         assert!(text.contains("MB/s"));
         assert!(text.contains("utilization"));
+        // Only classes with steady-state samples print a tail line.
+        assert!(text.contains("tail (write)"), "{text}");
+        assert!(!text.contains("tail (read"), "{text}");
+    }
+
+    #[test]
+    fn tail_accessors_digest_the_class_histograms() {
+        let r = report();
+        let write = r.tail(CommandClass::Write);
+        assert_eq!(write.count, 2);
+        assert!(write.p50 >= SimTime::from_us(100));
+        assert!(write.p999 <= write.max);
+        assert_eq!(r.tail(CommandClass::Read).count, 0);
+        assert_eq!(r.tails()[1].class, CommandClass::Write);
+        assert_eq!(r.tail_quantile(CommandClass::Write, 1.0), write.max);
+    }
+
+    #[test]
+    fn debug_rendering_excludes_the_metrics_extension() {
+        // The Debug format is the golden-capture format: extending the
+        // report must never change it (tests/golden/perf_reports.txt is
+        // compared byte-for-byte).
+        let text = format!("{:?}", report());
+        assert!(text.starts_with("PerfReport { config_name:"), "{text}");
+        assert!(text.contains("utilization:"), "{text}");
+        assert!(!text.contains("class_latency"), "{text}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! ```
 
 use crate::config::{CachePolicy, FtlMode};
+use crate::metrics::{ClassHistograms, SteadyStateCutoff};
 use crate::report::{PerfReport, UtilizationBreakdown};
 use crate::ssd::Ssd;
 use serde::Serialize;
@@ -156,6 +157,20 @@ impl CompletionLog {
     pub fn is_finished(&self) -> bool {
         self.finished
     }
+
+    /// Builds per-command-class latency histograms from the recorded
+    /// completions, admitting only records past `warmup` — the post-hoc
+    /// equivalent of [`SimSession::steady_state`] for sessions observed
+    /// through a log. Never allocates (the histograms are inline arrays).
+    pub fn class_histograms(&self, warmup: SteadyStateCutoff) -> ClassHistograms {
+        let mut classes = ClassHistograms::new();
+        for r in &self.records {
+            if warmup.admits(r.index, r.completed_at) {
+                classes.record(r.command.op, r.latency());
+            }
+        }
+        classes
+    }
 }
 
 impl Probe for CompletionLog {
@@ -212,6 +227,8 @@ pub struct SimSession<'a> {
     in_flight_bytes: u64,
     waf_carry: f64,
     latency: LatencyHistogram,
+    classes: ClassHistograms,
+    steady_state: SteadyStateCutoff,
     total_bytes: u64,
     last_completion: SimTime,
     probes: Vec<&'a mut dyn Probe>,
@@ -297,6 +314,8 @@ impl<'a> SimSession<'a> {
             in_flight_bytes: 0,
             waf_carry: 0.0,
             latency: LatencyHistogram::new(),
+            classes: ClassHistograms::new(),
+            steady_state: SteadyStateCutoff::None,
             total_bytes: 0,
             last_completion: SimTime::ZERO,
             probes: Vec::new(),
@@ -316,6 +335,25 @@ impl<'a> SimSession<'a> {
     /// periodic snapshots again.
     pub fn sample_every(&mut self, commands: u64) {
         self.sample_every = if commands == 0 { None } else { Some(commands) };
+    }
+
+    /// Sets the steady-state cutoff for the per-class tail-latency
+    /// histograms: completions the cutoff rejects are treated as warmup and
+    /// excluded from [`tail_latency`](Self::tail_latency) and the report's
+    /// [`class_latency`](crate::PerfReport::class_latency).
+    ///
+    /// The cutoff never touches the whole-run
+    /// [`latency`](crate::PerfReport::latency) histogram, so every
+    /// pre-existing report field stays byte-identical regardless of the
+    /// configured warmup.
+    pub fn steady_state(&mut self, cutoff: SteadyStateCutoff) {
+        self.steady_state = cutoff;
+    }
+
+    /// The per-command-class steady-state latency histograms recorded so
+    /// far (mid-run view of what [`finish`](Self::finish) reports).
+    pub fn tail_latency(&self) -> &ClassHistograms {
+        &self.classes
     }
 
     /// Report label of the underlying source.
@@ -375,6 +413,10 @@ impl<'a> SimSession<'a> {
         self.window.push(Reverse(completed_at));
         self.latency
             .record(completed_at.saturating_sub(admitted_at));
+        if self.steady_state.admits(index, completed_at) {
+            self.classes
+                .record(cmd.op, completed_at.saturating_sub(admitted_at));
+        }
         if cmd.op != HostOp::Trim {
             self.total_bytes += cmd.bytes as u64;
         }
@@ -431,6 +473,7 @@ impl<'a> SimSession<'a> {
             self.last_completion,
             reported_waf,
             latency,
+            self.classes,
         );
         for probe in &mut self.probes {
             probe.on_finish(&report);
@@ -788,6 +831,52 @@ mod tests {
         let _ = session.finish();
         assert!(log.snapshots().is_empty());
         assert_eq!(log.records().len(), 64);
+    }
+
+    #[test]
+    fn class_histograms_split_reads_writes_and_respect_warmup() {
+        use crate::metrics::CommandClass;
+        let w = workload(128);
+        let mut ssd = platform();
+        let mut log = CompletionLog::new();
+        let mut session = ssd.session(&w);
+        session.attach(&mut log);
+        session.steady_state(SteadyStateCutoff::Commands(32));
+        assert_eq!(session.tail_latency().count(), 0);
+        let report = session.finish();
+
+        // 128 sequential writes, 32 trimmed as warmup.
+        let write = report.tail(CommandClass::Write);
+        assert_eq!(write.count, 96);
+        assert_eq!(report.tail(CommandClass::Read).count, 0);
+        assert!(write.p50 <= write.p99 && write.p99 <= write.p999);
+        // The legacy whole-run histogram still counts everything.
+        assert_eq!(report.latency.count(), 128);
+
+        // A CompletionLog digests the same records to the same histograms.
+        let from_log = log.class_histograms(SteadyStateCutoff::Commands(32));
+        assert_eq!(from_log, *report.class_latency);
+        assert_eq!(
+            log.class_histograms(SteadyStateCutoff::None)
+                .class(CommandClass::Write)
+                .count(),
+            128
+        );
+    }
+
+    #[test]
+    fn warmup_cutoff_never_changes_the_report_outside_class_latency() {
+        let w = workload(96);
+        let plain = platform().simulate(&w);
+        let mut ssd = platform();
+        let mut session = ssd.session(&w);
+        session.steady_state(SteadyStateCutoff::SimulatedTime(SimTime::from_us(200)));
+        let trimmed = session.finish();
+        // Debug covers exactly the pre-metrics field set (the golden
+        // format), so byte-equality here proves the cutoff is invisible to
+        // every legacy field.
+        assert_eq!(format!("{plain:?}"), format!("{trimmed:?}"));
+        assert!(trimmed.class_latency.count() < plain.class_latency.count());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::config::{ConfigError, SsdConfig};
 use crate::layout::{PageAllocator, PageTarget};
+use crate::metrics::ClassHistograms;
 use crate::report::{PerfReport, UtilizationBreakdown};
 use crate::session::SimSession;
 use ssdx_channel::{ChannelConfig, ChannelController};
@@ -434,6 +435,7 @@ impl Ssd {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build_report(
         &self,
         workload_label: &str,
@@ -442,6 +444,7 @@ impl Ssd {
         elapsed: SimTime,
         waf: f64,
         latency: LatencyHistogram,
+        class_latency: ClassHistograms,
     ) -> PerfReport {
         let throughput_mbps = if elapsed.is_zero() {
             0.0
@@ -478,6 +481,7 @@ impl Ssd {
             nand_page_reads: reads,
             latency,
             utilization: self.utilization_snapshot(horizon),
+            class_latency: Box::new(class_latency),
         }
     }
 

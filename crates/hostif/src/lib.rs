@@ -7,8 +7,10 @@
 //! the NVMe protocol over PCI Express handles up to 64 K commands and
 //! unlocks it. This crate models both interfaces at the timing level —
 //! link rate, encoding overhead, packetization/FIS latency and queue depth —
-//! plus the command/data trace player and the IOZone-like synthetic workload
-//! generators used by every experiment in the paper.
+//! plus the command/data trace player, the IOZone-like synthetic workload
+//! generators used by every experiment in the paper, and the generative
+//! suite ([`generative`]: zipfian-skewed, bursty, mixed block sizes,
+//! read-modify-write) behind the platform's tail-latency studies.
 //!
 //! # Example
 //!
@@ -25,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod command;
+pub mod generative;
 pub mod interface;
 pub mod nvme;
 pub mod sata;
@@ -33,6 +36,7 @@ pub mod trace;
 pub mod workload;
 
 pub use command::{HostCommand, HostOp};
+pub use generative::{BurstyWorkload, MixedSizeWorkload, RmwWorkload, ZipfianWorkload};
 pub use interface::{HostInterface, HostInterfaceKind};
 pub use nvme::{NvmeInterface, PcieGen};
 pub use sata::SataInterface;

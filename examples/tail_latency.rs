@@ -1,0 +1,64 @@
+//! Tail latency under generative workloads: p50/p95/p99/p99.9 per command
+//! class, with warmup trimming.
+//!
+//! Mean throughput hides what fleets are judged on — the latency the
+//! slowest percentile of commands sees once queues build. This example
+//! runs the four generative workloads (zipfian-skewed, bursty on/off,
+//! mixed block sizes, read-modify-write) through the tail-latency study,
+//! then drills into one session by hand to show the same histograms
+//! mid-run and through a `CompletionLog`.
+//!
+//! Run with `cargo run --release --example tail_latency`.
+
+use ssdexplorer::core::{metrics, CommandClass, CompletionLog, Ssd, SsdConfig, SteadyStateCutoff};
+use ssdexplorer::hostif::ZipfianWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = SsdConfig::builder("tail-demo")
+        .topology(4, 2, 2)
+        .dram_buffers(4)
+        .build()?;
+    // Shrink the write cache so the study measures the flash-limited steady
+    // state instead of the cache-fill transient.
+    config.dram_buffer_capacity = 128 * 1024;
+
+    // The whole suite in one call: four workloads, one eighth of each
+    // stream trimmed as warmup, full per-class histograms per point.
+    let study = metrics::tail_latency_study(&config, 2_048, SteadyStateCutoff::Commands(256))?;
+    println!("tail latency across the generative workload suite:\n");
+    print!("{}", study.to_table());
+
+    // The same numbers by hand, for one zipfian-skewed session: attach a
+    // log, trim the warmup, and read the histograms both from the session
+    // and from the log.
+    let zipf = ZipfianWorkload::new(0.99, config.seed)
+        .command_count(2_048)
+        .footprint_bytes(256 << 20)
+        .read_fraction(0.7);
+    let mut ssd = Ssd::try_new(config)?;
+    let mut log = CompletionLog::with_capacity(2_048, 0);
+    let mut session = ssd.session(&zipf);
+    session.attach(&mut log);
+    session.steady_state(SteadyStateCutoff::Commands(256));
+    let report = session.finish();
+
+    println!("\nzipfian session, read class:");
+    let read = report.tail(CommandClass::Read);
+    println!("  steady-state samples : {}", read.count);
+    println!("  mean                 : {}", read.mean);
+    println!("  p50 / p95            : {} / {}", read.p50, read.p95);
+    println!("  p99 / p99.9          : {} / {}", read.p99, read.p999);
+    println!("  worst                : {}", read.max);
+
+    // A CompletionLog digests to the same histograms post-hoc — handy when
+    // the warmup cutoff is only decided after the run.
+    let from_log = log.class_histograms(SteadyStateCutoff::Commands(256));
+    assert_eq!(from_log, *report.class_latency);
+    let p99_all = from_log.total().quantile(0.99);
+    println!("\np99 across all classes       : {p99_all}");
+    println!(
+        "tail amplification (p99/p50) : {:.1}x",
+        read.p99.as_ns_f64() / read.p50.as_ns_f64().max(1.0)
+    );
+    Ok(())
+}
