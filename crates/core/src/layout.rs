@@ -143,7 +143,7 @@ mod tests {
     fn all_dies_are_used_before_reusing_one() {
         let mut a = allocator(4, 4, 2);
         let total = a.total_dies() as usize;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..total {
             let t = a.next_write();
             assert!(seen.insert((t.channel, t.way, t.die)));

@@ -628,7 +628,7 @@ mod tests {
             let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
             ftl.write(lpn).unwrap();
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for lpn in 0..ftl.logical_pages() {
             if let Some(loc) = ftl.lookup(lpn) {
                 assert!(seen.insert(loc), "two LBAs map to the same physical page");

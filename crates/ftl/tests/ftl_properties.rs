@@ -32,7 +32,7 @@ proptest! {
     fn model_checking_against_a_shadow_map(ops in prop::collection::vec(op_strategy(400), 1..600)) {
         let mut ftl = PageMappedFtl::new(16, 32, 0.3);
         let logical = ftl.logical_pages().min(400);
-        let mut shadow: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        let mut shadow: std::collections::BTreeMap<u64, bool> = std::collections::BTreeMap::new();
         for op in ops {
             match op {
                 Op::Write(lpn) if lpn < logical => {
@@ -53,7 +53,7 @@ proptest! {
         }
         // Every logical page the shadow map says is live must be mapped, and
         // no two of them may share a physical page.
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         for (&lpn, &live) in &shadow {
             let location = ftl.lookup(lpn);
             prop_assert_eq!(location.is_some(), live);

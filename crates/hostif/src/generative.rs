@@ -95,7 +95,7 @@ fn mixed_op(rng: &mut SimRng, read_fraction: f64) -> HostOp {
 /// assert_eq!(commands.len(), 512);
 /// // The hottest block dominates: it must appear far more often than the
 /// // uniform expectation (512 commands over 16 384 blocks).
-/// let mut counts = std::collections::HashMap::new();
+/// let mut counts = std::collections::BTreeMap::new();
 /// for c in commands.iter() {
 ///     *counts.entry(c.offset).or_insert(0u32) += 1;
 /// }
@@ -749,7 +749,7 @@ mod tests {
 
         // Skew: the most popular block takes far more than the uniform
         // share (2 000 / 16 384 blocks ≈ 0.12 expected per block).
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for c in &a {
             *counts.entry(c.offset).or_insert(0u32) += 1;
         }

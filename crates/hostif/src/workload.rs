@@ -230,7 +230,7 @@ mod tests {
             .command_count(4_000)
             .footprint_bytes(1 << 26)
             .build();
-        let unique: std::collections::HashSet<u64> =
+        let unique: std::collections::BTreeSet<u64> =
             w.commands().iter().map(|c| c.offset).collect();
         assert!(unique.len() > 3_000, "unique offsets = {}", unique.len());
     }

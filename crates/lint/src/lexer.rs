@@ -1,0 +1,514 @@
+//! A minimal Rust lexer that classifies every byte of a source file.
+//!
+//! The rules in this crate are textual pattern matchers, and the single way
+//! a textual matcher goes wrong is firing inside a string literal or a
+//! comment (`"std::collections::HashMap"` as data, `// no Instant here` as
+//! prose). This lexer exists to rule that out: it partitions a source file
+//! into [`Region`]s — code, string/char literals, comments — so rules only
+//! ever look at the code partition.
+//!
+//! It is deliberately *not* a parser. It recognises exactly the token
+//! classes whose contents must be masked:
+//!
+//! - line comments (`//`), with `///` and `//!` classified as doc comments
+//! - block comments (`/* */`), nested, with `/**` and `/*!` as doc comments
+//! - string literals (`"…"`), including `b"…"` and `c"…"`, with escapes
+//! - raw strings (`r"…"`, `r#"…"#`, any hash depth, `br`/`cr` prefixes)
+//! - char and byte-char literals (`'x'`, `b'\n'`), disambiguated from
+//!   lifetimes (`'a`, `'static`)
+//!
+//! Everything else is code. The lexer is total: it never panics, accepts
+//! arbitrary (even invalid) input, and always tiles `[0, len)` exactly —
+//! properties pinned by the proptest suite in `tests/lexer_props.rs`.
+//! Unterminated literals and comments extend to end of input, which is the
+//! conservative choice for a linter (nothing after an unterminated opener
+//! can be trusted as code).
+
+/// Classification of a contiguous byte range of source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Ordinary code: the only region rules scan.
+    Code,
+    /// `"…"`, `b"…"`, `c"…"` string literal, delimiters included.
+    Str,
+    /// `r"…"` / `r#"…"#` raw string literal (also `br`/`cr` forms).
+    RawStr,
+    /// `'x'` char or `b'x'` byte literal.
+    Char,
+    /// `//` comment up to (not including) the newline.
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+    /// `///`, `//!`, `/**`, `/*!` documentation comment.
+    DocComment,
+}
+
+impl RegionKind {
+    /// Comments of any flavour: the places suppression directives live.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            RegionKind::LineComment | RegionKind::BlockComment | RegionKind::DocComment
+        )
+    }
+}
+
+/// A half-open byte range `[start, end)` of one [`RegionKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub kind: RegionKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Lex `src` into regions that tile `[0, src.len())` exactly, in order.
+///
+/// Region boundaries always fall on ASCII delimiters or after a complete
+/// UTF-8 character, so every boundary is a valid `char` boundary and the
+/// regions can be sliced back out of `src` safely.
+pub fn lex(src: &str) -> Vec<Region> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+    }
+    .run()
+}
+
+/// Per-byte code mask for `src`: `mask[i]` is true iff byte `i` is code.
+pub fn code_mask(src: &str, regions: &[Region]) -> Vec<bool> {
+    let mut mask = vec![false; src.len()];
+    for region in regions {
+        if region.kind == RegionKind::Code {
+            for flag in &mut mask[region.start..region.end] {
+                *flag = true;
+            }
+        }
+    }
+    mask
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+}
+
+impl Lexer<'_> {
+    fn run(&self) -> Vec<Region> {
+        let bytes = self.bytes;
+        let len = bytes.len();
+        let mut regions = Vec::new();
+        let mut code_start = 0usize;
+        let mut i = 0usize;
+
+        let emit = |regions: &mut Vec<Region>, code_start: &mut usize, r: Region| {
+            if r.start > *code_start {
+                regions.push(Region {
+                    kind: RegionKind::Code,
+                    start: *code_start,
+                    end: r.start,
+                });
+            }
+            *code_start = r.end;
+            regions.push(r);
+        };
+
+        while i < len {
+            let c = bytes[i];
+            match c {
+                b'/' if i + 1 < len && bytes[i + 1] == b'/' => {
+                    let end = self.line_comment_end(i);
+                    let kind = self.line_comment_kind(i);
+                    emit(
+                        &mut regions,
+                        &mut code_start,
+                        Region {
+                            kind,
+                            start: i,
+                            end,
+                        },
+                    );
+                    i = end;
+                }
+                b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
+                    let end = self.block_comment_end(i);
+                    let kind = self.block_comment_kind(i);
+                    emit(
+                        &mut regions,
+                        &mut code_start,
+                        Region {
+                            kind,
+                            start: i,
+                            end,
+                        },
+                    );
+                    i = end;
+                }
+                b'"' => {
+                    let end = self.string_end(i + 1);
+                    emit(
+                        &mut regions,
+                        &mut code_start,
+                        Region {
+                            kind: RegionKind::Str,
+                            start: i,
+                            end,
+                        },
+                    );
+                    i = end;
+                }
+                b'r' | b'b' | b'c' if !self.prev_is_ident(i) => {
+                    // Prefixed literal? `r"…"`, `r#"…"#`, `b"…"`, `b'…'`,
+                    // `br#"…"#`, `c"…"`, `cr#"…"#`. When the prefix does not
+                    // introduce a literal it is an ordinary identifier char.
+                    if let Some((kind, end)) = self.prefixed_literal(i) {
+                        emit(
+                            &mut regions,
+                            &mut code_start,
+                            Region {
+                                kind,
+                                start: i,
+                                end,
+                            },
+                        );
+                        i = end;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    if let Some(end) = self.char_literal_end(i) {
+                        emit(
+                            &mut regions,
+                            &mut code_start,
+                            Region {
+                                kind: RegionKind::Char,
+                                start: i,
+                                end,
+                            },
+                        );
+                        i = end;
+                    } else {
+                        // A lifetime (`'a`) or stray quote: stays code.
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        if code_start < len {
+            regions.push(Region {
+                kind: RegionKind::Code,
+                start: code_start,
+                end: len,
+            });
+        }
+        regions
+    }
+
+    fn prev_is_ident(&self, i: usize) -> bool {
+        i > 0 && is_ident_byte(self.bytes[i - 1])
+    }
+
+    fn line_comment_kind(&self, start: usize) -> RegionKind {
+        let rest = &self.bytes[start..];
+        // `////…` is an ordinary comment in rustc; `///` and `//!` are docs.
+        if rest.starts_with(b"//!") || (rest.starts_with(b"///") && !rest.starts_with(b"////")) {
+            RegionKind::DocComment
+        } else {
+            RegionKind::LineComment
+        }
+    }
+
+    fn line_comment_end(&self, start: usize) -> usize {
+        self.bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(self.bytes.len(), |off| start + off)
+    }
+
+    fn block_comment_kind(&self, start: usize) -> RegionKind {
+        let rest = &self.bytes[start..];
+        // `/**/` is empty (not a doc comment); `/**` and `/*!` are docs.
+        if rest.starts_with(b"/*!") || (rest.starts_with(b"/**") && !rest.starts_with(b"/**/")) {
+            RegionKind::DocComment
+        } else {
+            RegionKind::BlockComment
+        }
+    }
+
+    fn block_comment_end(&self, start: usize) -> usize {
+        let bytes = self.bytes;
+        let len = bytes.len();
+        let mut depth = 0usize;
+        let mut i = start;
+        while i < len {
+            if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                depth += 1;
+                i += 2;
+            } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    return i;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        len
+    }
+
+    /// End of a `"…"` string whose opening quote sits just before `after`.
+    fn string_end(&self, after: usize) -> usize {
+        let bytes = self.bytes;
+        let len = bytes.len();
+        let mut i = after;
+        while i < len {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        len
+    }
+
+    /// Recognise `r`/`b`/`c`-prefixed literals starting at `i`.
+    fn prefixed_literal(&self, i: usize) -> Option<(RegionKind, usize)> {
+        let bytes = self.bytes;
+        let len = bytes.len();
+        let mut j = i;
+        // Consume the prefix letters (at most two: `br`, `cr`).
+        let raw = match bytes[j] {
+            b'r' => {
+                j += 1;
+                true
+            }
+            b'b' | b'c' => {
+                j += 1;
+                if j < len && bytes[j] == b'r' {
+                    j += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if raw {
+            // `r`, `br`, `cr`: hashes then a quote.
+            let mut hashes = 0usize;
+            while j < len && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < len && bytes[j] == b'"' {
+                return Some((RegionKind::RawStr, self.raw_string_end(j + 1, hashes)));
+            }
+            None
+        } else {
+            // `b"…"`, `c"…"`, or `b'…'`.
+            match bytes.get(j) {
+                Some(b'"') => Some((RegionKind::Str, self.string_end(j + 1))),
+                Some(b'\'') if bytes[i] == b'b' => {
+                    self.char_literal_end(j).map(|end| (RegionKind::Char, end))
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// End of a raw string body starting at `after`, closed by `"` + `hashes`.
+    fn raw_string_end(&self, after: usize, hashes: usize) -> usize {
+        let bytes = self.bytes;
+        let len = bytes.len();
+        let mut i = after;
+        while i < len {
+            if bytes[i] == b'"' {
+                let tail = &bytes[i + 1..];
+                if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        len
+    }
+
+    /// If the `'` at `start` opens a char literal, its end; `None` for
+    /// lifetimes and stray quotes (which remain code).
+    fn char_literal_end(&self, start: usize) -> Option<usize> {
+        let bytes = self.bytes;
+        let len = bytes.len();
+        let next = *bytes.get(start + 1)?;
+        if next == b'\\' {
+            // Escaped char: scan for the closing quote, honouring `\\`.
+            let mut i = start + 2;
+            while i < len {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\'' => return Some(i + 1),
+                    b'\n' => return Some(i), // unterminated: stop at newline
+                    _ => i += 1,
+                }
+            }
+            return Some(len);
+        }
+        if next == b'\'' {
+            // `''`: not valid Rust; claim both quotes so neither opens
+            // a phantom literal.
+            return Some(start + 2);
+        }
+        if next.is_ascii_alphabetic() || next == b'_' {
+            // `'a'` is a char; `'a` / `'static` is a lifetime. Scan the
+            // identifier run and look for a closing quote.
+            let mut i = start + 1;
+            while i < len && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            if i < len && bytes[i] == b'\'' {
+                return Some(i + 1);
+            }
+            return None; // lifetime
+        }
+        // Single non-identifier character (`'('`, `'1'`, `'é'`): a char
+        // literal iff a quote follows one complete character.
+        let ch_len = utf8_len(next);
+        let close = start + 1 + ch_len;
+        if close < len && bytes[close] == b'\'' {
+            // Guard against slicing mid-char on malformed UTF-8 counts.
+            if self.src.is_char_boundary(close) {
+                return Some(close + 1);
+            }
+        }
+        None
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(RegionKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|r| (r.kind, &src[r.start..r.end]))
+            .collect()
+    }
+
+    #[test]
+    fn tiles_plain_code() {
+        let src = "fn main() {}";
+        assert_eq!(kinds(src), vec![(RegionKind::Code, src)]);
+    }
+
+    #[test]
+    fn classifies_comment_flavours() {
+        let src = "//! inner\n/// outer\n//// plain\n// plain\n/* b */ /** d */ x";
+        let got = kinds(src);
+        let comment_kinds: Vec<RegionKind> = got
+            .iter()
+            .filter(|(k, _)| k.is_comment())
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(
+            comment_kinds,
+            vec![
+                RegionKind::DocComment,
+                RegionKind::DocComment,
+                RegionKind::LineComment,
+                RegionKind::LineComment,
+                RegionKind::BlockComment,
+                RegionKind::DocComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (RegionKind::Code, "a "),
+                (RegionKind::BlockComment, "/* x /* y */ z */"),
+                (RegionKind::Code, " b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw_strings() {
+        let src = r####"let a = "q\"/*"; let b = r#"//"#; let c = b"x";"####;
+        let got = kinds(src);
+        assert_eq!(got[1], (RegionKind::Str, r#""q\"/*""#));
+        assert_eq!(got[3], (RegionKind::RawStr, r###"r#"//"#"###));
+        assert_eq!(got[5], (RegionKind::Str, r#"b"x""#));
+    }
+
+    #[test]
+    fn lifetimes_stay_code_chars_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; let d = '\\n'; let e = b'z'; }";
+        let got = kinds(src);
+        let chars: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == RegionKind::Char)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(chars, vec!["'y'", "'\\n'", "b'z'"]);
+    }
+
+    #[test]
+    fn quote_char_literal_is_not_a_string_opener() {
+        // `'"'` must consume the double quote as a char, or the rest of the
+        // file would be misread as a string body.
+        let src = "let q = '\"'; let x = 1;";
+        let got = kinds(src);
+        assert_eq!(got[1], (RegionKind::Char, "'\"'"));
+        assert_eq!(got[2], (RegionKind::Code, "; let x = 1;"));
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'\\x4"] {
+            let regions = lex(src);
+            assert_eq!(regions.last().unwrap().end, src.len(), "src = {src:?}");
+        }
+    }
+
+    #[test]
+    fn multibyte_char_literal_and_identifier() {
+        let src = "let é = 'é'; // déjà vu";
+        let regions = lex(src);
+        for r in &regions {
+            assert!(src.is_char_boundary(r.start) && src.is_char_boundary(r.end));
+        }
+        assert!(regions
+            .iter()
+            .any(|r| r.kind == RegionKind::Char && &src[r.start..r.end] == "'é'"));
+    }
+
+    #[test]
+    fn code_mask_marks_only_code() {
+        let src = "x // HashMap\ny";
+        let regions = lex(src);
+        let mask = code_mask(src, &regions);
+        assert!(mask[0]); // x
+        let comment_at = src.find("//").unwrap();
+        assert!(!mask[comment_at + 3]);
+        assert!(mask[src.len() - 1]); // y
+    }
+}

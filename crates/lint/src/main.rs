@@ -1,0 +1,173 @@
+//! The `ssdx-lint` CLI.
+//!
+//! ```text
+//! ssdx-lint [--workspace] [--json] [--list] [PATH ...]
+//! ```
+//!
+//! With `--workspace` (or no arguments) the whole workspace is audited;
+//! explicit paths lint individual files, with scope matching driven by the
+//! workspace-relative form of each path. Exit codes: `0` clean, `1` at
+//! least one finding, `2` usage or I/O error.
+//!
+//! Output goes through locked, buffered handles with `writeln!` rather than
+//! the print macros — the linter's own `no-print-in-lib` rule covers this
+//! file, and the CLI leads by example.
+
+use std::env;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ssdx_lint::{lint_source, lint_workspace, registry, render_json, render_text, RULES};
+
+struct Options {
+    json: bool,
+    list: bool,
+    workspace: bool,
+    paths: Vec<String>,
+}
+
+const USAGE: &str = "\
+usage: ssdx-lint [--workspace] [--json] [--list] [PATH ...]
+
+  --workspace   audit every Rust source in the workspace (default when no
+                paths are given)
+  --json        emit one machine-readable JSON document instead of text
+  --list        print the rule registry (name + contract) and exit
+  -h, --help    show this help
+
+exit codes: 0 clean, 1 findings reported, 2 usage or I/O error";
+
+fn main() -> ExitCode {
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    let stderr = io::stderr();
+    let mut err = stderr.lock();
+
+    let mut opts = Options {
+        json: false,
+        list: false,
+        workspace: false,
+        paths: Vec::new(),
+    };
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list" => opts.list = true,
+            "--workspace" => opts.workspace = true,
+            "-h" | "--help" => {
+                let _ = writeln!(out, "{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                let _ = writeln!(err, "ssdx-lint: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => opts.paths.push(path.to_string()),
+        }
+    }
+
+    if opts.list {
+        for rule in RULES {
+            let _ = writeln!(out, "{:<34} {}", rule.name, rule.contract);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let run = if opts.paths.is_empty() || opts.workspace {
+        run_workspace(&opts)
+    } else {
+        run_paths(&opts)
+    };
+    match run {
+        Ok((rendered, findings)) => {
+            let _ = write!(out, "{rendered}");
+            let _ = out.flush();
+            if findings == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(err, "ssdx-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Render a completed pass. Returns the output and the finding count.
+fn render(
+    opts: &Options,
+    diags: Vec<ssdx_lint::Diagnostic>,
+    files_scanned: usize,
+) -> (String, usize) {
+    let count = diags.len();
+    let rendered = if opts.json {
+        let mut s = render_json(&diags, files_scanned);
+        s.push('\n');
+        s
+    } else {
+        render_text(&diags, files_scanned)
+    };
+    (rendered, count)
+}
+
+fn run_workspace(opts: &Options) -> io::Result<(String, usize)> {
+    let root = workspace_root()?;
+    let report = lint_workspace(&root)?;
+    Ok(render(opts, report.diagnostics, report.files_scanned))
+}
+
+fn run_paths(opts: &Options) -> io::Result<(String, usize)> {
+    let root = workspace_root()?;
+    let rules = registry();
+    let mut diags = Vec::new();
+    let mut scanned = 0usize;
+    for given in &opts.paths {
+        let path = Path::new(given);
+        let abs = if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            env::current_dir()?.join(path)
+        };
+        let text = fs::read_to_string(&abs)?;
+        // Scope matching wants the workspace-relative path; fall back to
+        // the path as given for files outside the workspace.
+        let rel = abs
+            .strip_prefix(&root)
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .unwrap_or_else(|_| given.replace('\\', "/"));
+        diags.extend(lint_source(&rel, &text, &rules));
+        scanned += 1;
+    }
+    Ok(render(opts, diags, scanned))
+}
+
+/// Find the workspace root: walk up from the current directory looking for
+/// a `Cargo.toml` declaring `[workspace]`, falling back to the checkout
+/// this binary was built from.
+fn workspace_root() -> io::Result<PathBuf> {
+    let mut dir = env::current_dir()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    // Built from `crates/lint`: the workspace root is two levels up.
+    let fallback = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    fallback.canonicalize().map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("cannot locate the workspace root (run from a checkout): {e}"),
+        )
+    })
+}

@@ -1,0 +1,15 @@
+//@ path: crates/ecc/src/fixture.rs
+//! Fixture: ambient entropy sources are flagged everywhere.
+
+use std::collections::hash_map::RandomState; //~ ERROR no-ambient-randomness
+use std::collections::hash_map::DefaultHasher; //~ ERROR no-ambient-randomness
+
+fn flagged() {
+    let s = RandomState::new(); //~ ERROR no-ambient-randomness
+    let r = thread_rng(); //~ ERROR no-ambient-randomness
+}
+
+fn fine() {
+    // All randomness flows from a seeded SimRng; the call sites receive
+    // it (or a value derived from the config seed) explicitly.
+}

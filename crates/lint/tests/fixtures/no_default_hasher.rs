@@ -1,0 +1,20 @@
+//@ path: crates/core/src/fixture.rs
+//! Fixture: entropy-seeded std maps are flagged in simulation code.
+//! (This file is never compiled; it is input data for the fixture suite.)
+
+use std::collections::HashMap; //~ ERROR no-default-hasher
+use std::collections::HashSet; //~ ERROR no-default-hasher
+use ssdx_sim::hash::FastHashMap;
+
+fn flagged() {
+    let m: HashMap<u64, u64> = HashMap::new(); //~ ERROR no-default-hasher
+    let s: HashSet<u64> = HashSet::default(); //~ ERROR no-default-hasher
+}
+
+fn fine() {
+    // Prose naming std::collections::HashMap is not a violation, and the
+    // fixed-key map is the whole point:
+    let wear: FastHashMap<u64, u32> = FastHashMap::default();
+    let ordered = std::collections::BTreeMap::<u64, u64>::new();
+    let as_data = "HashMap and HashSet in a string are data, not code";
+}

@@ -1,0 +1,16 @@
+//@ path: crates/dram/src/fixture.rs
+//! Fixture: print macros are flagged in library sources.
+
+fn flagged() {
+    println!("refresh complete"); //~ ERROR no-print-in-lib
+    eprintln!("bank conflict"); //~ ERROR no-print-in-lib
+    print!("partial"); //~ ERROR no-print-in-lib
+    eprint!("partial"); //~ ERROR no-print-in-lib
+    let x = dbg!(42); //~ ERROR no-print-in-lib
+}
+
+fn fine() {
+    // A string mentioning println! is data; returning strings is the
+    // sanctioned way for a library to produce output.
+    let rendered = format!("table: {}", 42);
+}

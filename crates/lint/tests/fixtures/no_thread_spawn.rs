@@ -1,0 +1,15 @@
+//@ path: crates/hostif/src/fixture.rs
+//! Fixture: ambient threading is flagged outside the parallel executor.
+
+use std::thread; //~ ERROR no-thread-spawn-outside-parallel
+
+fn flagged() {
+    let h = thread::spawn(|| 42); //~ ERROR no-thread-spawn-outside-parallel
+    let n = std::thread::available_parallelism(); //~ ERROR no-thread-spawn-outside-parallel
+    thread::scope(|_| {}); //~ ERROR no-thread-spawn-outside-parallel
+}
+
+fn fine() {
+    // Deterministic fan-out goes through ssdx_core::parallel, which owns
+    // the one sanctioned thread pool.
+}

@@ -1,0 +1,9 @@
+//@ path: examples/fixture.rs
+//! Fixture: the `no-print-in-lib` scope table stops at library sources —
+//! the same macros are fine in examples (and tests/, and crates/bench).
+//! No expectations in this file: the suite asserts a clean pass.
+
+fn main() {
+    println!("examples are the user-facing surface");
+    eprintln!("and may use stderr too");
+}

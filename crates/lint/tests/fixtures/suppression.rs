@@ -1,0 +1,20 @@
+//@ path: crates/channel/src/fixture.rs
+//! Fixture: the audited inline-allow mechanism, all four behaviours.
+
+// A standalone allow with a reason suppresses the next code line, even
+// across a multi-line justification comment like this one.
+// ssdx-lint::allow(no-default-hasher): fixture demonstrating a justified
+// standalone suppression
+use std::collections::HashMap;
+
+use std::collections::HashSet; // ssdx-lint::allow(no-default-hasher): trailing form
+
+// ssdx-lint::allow(no-default-hasher) //~ ERROR bare-suppression
+use std::collections::HashMap as Bare; //~ ERROR no-default-hasher
+
+fn flagged() {
+    let t = std::time::Instant::now(); // ssdx-lint::allow(no-such-rule): typo'd rule name //~ ERROR no-wall-clock unknown-rule-in-allow
+}
+
+// ssdx-lint::allow(no-wall-clock): nothing below reads the clock //~ ERROR unused-suppression
+fn stale() {}

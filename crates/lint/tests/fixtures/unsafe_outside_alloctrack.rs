@@ -1,0 +1,15 @@
+//@ path: crates/ftl/src/fixture.rs
+//! Fixture: `unsafe` and lint re-enables are flagged outside alloctrack.
+//! The workspace-level `forbid(unsafe_code)` already rejects most of this
+//! at compile time; the rule exists for what rustc cannot see — attributes
+//! assembled in macros, or a crate quietly dropping lint inheritance.
+
+#![allow(unsafe_code)] //~ ERROR unsafe-outside-alloctrack
+
+fn flagged(p: *const u8) -> u8 {
+    unsafe { *p } //~ ERROR unsafe-outside-alloctrack
+}
+
+fn fine() {
+    // The word unsafe in prose is fine, as is "unsafe in a string".
+}

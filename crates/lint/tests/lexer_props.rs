@@ -1,0 +1,130 @@
+//! Properties of the region lexer: it is total (never panics), it tiles
+//! the input exactly, and the code mask it induces is what keeps rules
+//! from firing inside strings and comments.
+
+use proptest::prelude::*;
+
+use ssdx_lint::lexer::lex;
+use ssdx_lint::{lint_source, registry};
+
+/// Characters weighted toward lexer-significant syntax: quotes, escapes,
+/// comment openers/closers, raw-string guards and prefixes, newlines, and
+/// some multi-byte fillers so char-boundary handling is exercised.
+const SOURCE_PALETTE: &[char] = &[
+    '"', '\'', '/', '*', '\\', '#', 'r', 'b', 'c', '!', '\n', ' ', 'x', 'A', '0', '_', ':', ';',
+    '{', '}', '(', ')', 'é', '→',
+];
+
+fn arbitrary_source() -> BoxedStrategy<String> {
+    prop::collection::vec(any::<u8>(), 0..240)
+        .prop_map(|bytes| {
+            bytes
+                .iter()
+                .map(|&b| SOURCE_PALETTE[b as usize % SOURCE_PALETTE.len()])
+                .collect()
+        })
+        .boxed()
+}
+
+/// Payload characters that cannot terminate the surrounding string or
+/// comment context they get wrapped in (no quotes, escapes, newlines,
+/// `*`/`/` pairs, or raw-string `#` guards).
+const PAYLOAD_PALETTE: &[char] = &[
+    'H', 'a', 's', 'h', 'M', 'p', 'I', 'n', 't', 'd', 'e', ' ', '_', 'x', '0', ':', ';', '!',
+];
+
+fn payload() -> BoxedStrategy<String> {
+    prop::collection::vec(any::<u8>(), 0..60)
+        .prop_map(|bytes| {
+            bytes
+                .iter()
+                .map(|&b| PAYLOAD_PALETTE[b as usize % PAYLOAD_PALETTE.len()])
+                .collect()
+        })
+        .boxed()
+}
+
+/// A token every rule would flag if it appeared in code position.
+fn hot_token() -> BoxedStrategy<&'static str> {
+    prop::sample::select(vec![
+        "HashMap",
+        "HashSet",
+        "Instant",
+        "SystemTime",
+        "unsafe",
+        "thread::spawn",
+        "RandomState",
+        "thread_rng",
+        "println!",
+        "dbg!",
+    ])
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer is total and its regions tile `[0, len)` exactly, in
+    /// order, with every boundary on a char boundary. This is the
+    /// foundation the code mask (and so every rule) stands on.
+    #[test]
+    fn lexer_tiles_arbitrary_input_exactly(src in arbitrary_source()) {
+        let regions = lex(&src);
+        let mut cursor = 0usize;
+        for r in &regions {
+            prop_assert_eq!(r.start, cursor, "regions must be contiguous");
+            prop_assert!(r.end > r.start, "regions must be non-empty");
+            prop_assert!(src.is_char_boundary(r.start));
+            prop_assert!(src.is_char_boundary(r.end));
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, src.len(), "regions must cover the input");
+    }
+
+    /// The full pipeline — lex, scope, rules, suppression audit,
+    /// diagnostics with line/col/snippets — never panics on arbitrary
+    /// input, in or out of scope.
+    #[test]
+    fn full_lint_pass_is_total(src in arbitrary_source()) {
+        let rules = registry();
+        let _ = lint_source("crates/core/src/probe.rs", &src, &rules);
+        let _ = lint_source("examples/probe.rs", &src, &rules);
+    }
+
+    /// Masking: a token every rule hunts for produces zero findings when
+    /// it only ever appears inside comments, doc comments, strings, or
+    /// raw strings — and does fire from code position in the same file.
+    #[test]
+    fn rules_only_fire_in_code_regions(
+        token in hot_token(),
+        pre in payload(),
+        post in payload(),
+        ctx in 0usize..5,
+    ) {
+        let inner = format!("{pre}{token}{post}");
+        let masked = match ctx {
+            0 => format!("// {inner}\nfn f() {{}}\n"),
+            1 => format!("//! {inner}\nfn f() {{}}\n"),
+            2 => format!("/* {inner} */ fn f() {{}}\n"),
+            3 => format!("fn f() {{ let _s = \"{inner}\"; }}\n"),
+            _ => format!("fn f() {{ let _s = r#\"{inner}\"#; }}\n"),
+        };
+        let rules = registry();
+        let quiet = lint_source("crates/core/src/probe.rs", &masked, &rules);
+        prop_assert!(
+            quiet.is_empty(),
+            "token {} wrapped in context {} still fired: {:?}",
+            token,
+            ctx,
+            quiet.iter().map(|d| d.rule).collect::<Vec<_>>()
+        );
+
+        let live = format!("{token}\n// {inner}\n");
+        let heard = lint_source("crates/core/src/probe.rs", &live, &rules);
+        prop_assert!(
+            heard.iter().any(|d| d.line == 1),
+            "token {} in code position was not flagged",
+            token
+        );
+    }
+}

@@ -215,7 +215,7 @@ mod tests {
             page_size_bytes: 2048,
             spare_bytes: 64,
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for plane in 0..2 {
             for block in 0..3 {
                 for page in 0..4 {

@@ -15,12 +15,14 @@
 //! entropy-seeded) removes the one way the standard hasher could have leaked
 //! nondeterminism into a simulation.
 
-use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// A `HashMap` keyed by trusted simulation-internal integers, using
 /// [`FastHasher`].
-pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+// ssdx-lint::allow(no-default-hasher): the definition site — the std map is
+// rebased onto the fixed-key hasher here, which is what makes it legal
+// everywhere else.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
 
@@ -88,7 +90,7 @@ mod tests {
     #[test]
     fn distinct_keys_rarely_collide() {
         let build = BuildHasherDefault::<FastHasher>::default();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for key in 0u64..10_000 {
             seen.insert(build.hash_one(key));
         }
@@ -98,6 +100,8 @@ mod tests {
     #[test]
     fn map_behaves_like_std() {
         let mut fast: FastHashMap<u64, u64> = FastHashMap::default();
+        // ssdx-lint::allow(no-default-hasher): differential test — agreeing
+        // with the entropy-seeded std map is the property under test.
         let mut std_map = std::collections::HashMap::new();
         for i in 0..1_000u64 {
             let k = i.wrapping_mul(0x9E37_79B9);

@@ -9,6 +9,9 @@
 //!
 //! Run with `cargo run --release --example design_space_exploration`.
 
+// Examples are the user-facing surface: printing results is their job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ssdexplorer::core::configs::table2_configs;
 use ssdexplorer::core::{explorer, Axis, Explorer, HostInterfaceConfig, SsdConfig};
 use ssdexplorer::hostif::{AccessPattern, Workload};

@@ -10,6 +10,9 @@
 //!
 //! Run with `cargo run --release --example host_interface_comparison`.
 
+// Examples are the user-facing surface: printing results is their job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ssdexplorer::core::{Axis, CachePolicy, Explorer, HostInterfaceConfig, SsdConfig};
 use ssdexplorer::hostif::{AccessPattern, Workload};
 

@@ -3,6 +3,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+// Examples are the user-facing surface: printing results is their job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ssdexplorer::core::{CachePolicy, Ssd, SsdConfig};
 use ssdexplorer::hostif::{AccessPattern, Workload};
 

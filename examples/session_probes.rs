@@ -11,6 +11,9 @@
 //!
 //! Run with `cargo run --release --example session_probes`.
 
+// Examples are the user-facing surface: printing results is their job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ssdexplorer::core::{Probe, SessionSnapshot, Ssd, SsdConfig};
 use ssdexplorer::hostif::{source_fn, HostCommand, HostOp};
 use ssdexplorer::sim::SimTime;

@@ -10,6 +10,9 @@
 //!
 //! Run with `cargo run --release --example tail_latency`.
 
+// Examples are the user-facing surface: printing results is their job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ssdexplorer::core::{metrics, CommandClass, CompletionLog, Ssd, SsdConfig, SteadyStateCutoff};
 use ssdexplorer::hostif::ZipfianWorkload;
 

@@ -5,6 +5,9 @@
 //!
 //! Run with `cargo run --release --example validation_ocz_vertex`.
 
+// Examples are the user-facing surface: printing results is their job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ssdexplorer::core::configs::ocz_vertex_like;
 use ssdexplorer::core::Ssd;
 use ssdexplorer::hostif::{AccessPattern, Workload};

@@ -4,6 +4,9 @@
 //!
 //! Run with `cargo run --release --example wearout_analysis`.
 
+// Examples are the user-facing surface: printing results is their job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ssdexplorer::core::configs::fig5_config;
 use ssdexplorer::core::explorer::wearout_study;
 use ssdexplorer::ecc::EccScheme;

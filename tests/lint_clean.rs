@@ -1,0 +1,53 @@
+//! Tier-1 gate: the workspace is `ssdx-lint` clean.
+//!
+//! This runs the full invariant audit — every rule in the registry over
+//! every workspace source — inside `cargo test -q`, so a violation of the
+//! determinism / purity / confinement contracts fails the build locally,
+//! not just in CI. See ARCHITECTURE.md § "Invariants & enforcement" for
+//! what the rules guard and how to suppress one legitimately.
+
+use std::path::Path;
+
+use ssdx_lint::{lint_workspace, registry, render_text, RULES};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace sources readable");
+    assert!(
+        report.diagnostics.is_empty(),
+        "ssdx-lint found contract violations:\n\n{}",
+        render_text(&report.diagnostics, report.files_scanned)
+    );
+    // Guard against the audit silently going blind: if the walker ever
+    // stops finding sources (renamed dirs, broken skip list), a "clean"
+    // result would be vacuous. The workspace has ~100 .rs files today.
+    assert!(
+        report.files_scanned >= 80,
+        "only {} files scanned — the source walker looks broken",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn a_fresh_violation_fails_the_audit() {
+    // Prove the gate has teeth: an in-memory file with a std HashMap at a
+    // library path must produce a finding. If this stops failing-the-bad-
+    // case, the clean test above proves nothing.
+    let rules = registry();
+    let source = "use std::collections::HashMap;\n";
+    let diags = ssdx_lint::lint_source("crates/core/src/fresh_violation.rs", source, &rules);
+    assert_eq!(diags.len(), 1, "expected exactly one finding: {diags:?}");
+    assert_eq!(diags[0].rule, "no-default-hasher");
+    assert_eq!((diags[0].line, diags[0].col), (1, 23));
+}
+
+#[test]
+fn registry_matches_the_declarative_table() {
+    let rules = registry();
+    assert_eq!(rules.len(), RULES.len());
+    assert!(rules.len() >= 6, "the contract set must not shrink");
+    for (rule, spec) in rules.iter().zip(RULES) {
+        assert_eq!(rule.name(), spec.name);
+    }
+}

@@ -102,7 +102,7 @@ proptest! {
                 ftl.write(lpn).expect("lpn is in range");
             }
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for lpn in 0..logical {
             if let Some(location) = ftl.lookup(lpn) {
                 prop_assert!(seen.insert(location), "physical page mapped twice");
