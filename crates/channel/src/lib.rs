@@ -26,7 +26,6 @@
 //! assert!(done.complete_at > SimTime::from_us(850));
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;

@@ -19,7 +19,6 @@
 //! assert!(out < 4096);
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use serde::{Deserialize, Serialize};

@@ -47,7 +47,6 @@
 //! # Ok::<(), ssdx_core::ConfigError>(())
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;

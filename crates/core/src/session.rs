@@ -662,6 +662,11 @@ impl<'a> SimSession<'a> {
                     );
                     let pe = self.ssd.channels[channel as usize]
                         .die(way, die)
+                        // ssdx-lint::allow(no-panic-in-hot-path): the
+                        // allocator and the channels are built from the
+                        // same geometry, so every target it hands out is
+                        // in range; a miss means the config was mutated
+                        // mid-run.
                         .expect("allocator targets are in range")
                         .block_pe_cycles(addr);
                     let dec_latency =

@@ -20,7 +20,6 @@
 //! assert!(done.end > SimTime::ZERO);
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod firmware;

@@ -19,7 +19,6 @@
 //! assert!(write.end > write.start);
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bank;

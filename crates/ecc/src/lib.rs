@@ -26,7 +26,6 @@
 //! assert!(adaptive.decode_latency(100) < fixed.decode_latency(100));
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;

@@ -39,7 +39,6 @@
 //! assert!(ftl.stats().waf() >= 1.0);
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod mapping;

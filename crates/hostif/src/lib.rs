@@ -23,7 +23,6 @@
 //! assert!(nvme.queue_depth() > sata.queue_depth());
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod command;

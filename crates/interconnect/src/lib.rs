@@ -19,7 +19,6 @@
 //! assert!(xfer.end > xfer.start);
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ahb;

@@ -1,0 +1,817 @@
+//! Cross-file structural analyses: crate layering and public-API drift.
+//!
+//! The token rules in [`crate::rules`] are single-file by construction.
+//! Two of the workspace's load-bearing contracts are not:
+//!
+//! - **`layer-violation`** — the ARCHITECTURE.md dependency map promises a
+//!   strict layering (kernel → substrate → platform → harness → facade,
+//!   see [`LAYERS`]). Every member crate's `Cargo.toml` dependency edges
+//!   and every in-code `ssdx_*` reference are checked against that table;
+//!   upward or sideways edges, and declared-but-unused inter-crate
+//!   dependencies, are findings.
+//! - **`api-drift`** — each library crate's public surface (extracted by
+//!   [`crate::parse`]) is pinned in a committed snapshot under
+//!   `crates/lint/api/<crate>.api`. Any drift fails with a diff-style
+//!   diagnostic; intentional changes are re-pinned with `--update-api`,
+//!   which makes every API change visible in review as a snapshot diff.
+//!
+//! Both analyses run from [`run`], which [`crate::engine::lint_workspace`]
+//! invokes after the per-file rules, so `ssdx-lint --workspace`, the
+//! tier-1 `lint_clean` test, and CI all see the same findings. Inline
+//! `ssdx-lint::allow(...)` does not apply here: a layering or API change
+//! is never a single-site exception — it is either a table/snapshot update
+//! (reviewed in this crate) or a bug.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+use crate::engine::SourceText;
+use crate::parse;
+
+/// Name of the crate-layering analysis.
+pub const LAYER_VIOLATION: &str = "layer-violation";
+/// Name of the public-API snapshot analysis.
+pub const API_DRIFT: &str = "api-drift";
+
+/// Metadata for one workspace-level analysis (the cross-file counterpart
+/// of [`crate::rules::RuleSpec`]); `--list` prints these after the rules.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisSpec {
+    /// Registry name (kebab-case), as it appears in diagnostics.
+    pub name: &'static str,
+    /// One-line statement of the contract the analysis enforces.
+    pub contract: &'static str,
+    /// What to do when the analysis fires.
+    pub help: &'static str,
+}
+
+/// The workspace-level analyses, one entry per diagnostic name.
+pub const ANALYSES: &[AnalysisSpec] = &[
+    AnalysisSpec {
+        name: LAYER_VIOLATION,
+        contract: "crate layering: dependencies point strictly downward \
+                   (kernel -> substrate -> platform -> harness -> facade) and every \
+                   declared inter-crate edge is used",
+        help: "depend only on lower layers (see the ARCHITECTURE.md dependency map); \
+               a genuinely new edge is a reviewed change to the LAYERS table in \
+               crates/lint/src/analysis.rs",
+    },
+    AnalysisSpec {
+        name: API_DRIFT,
+        contract: "public API stability: each library crate's surface matches its \
+                   committed snapshot under crates/lint/api/",
+        help: "if the change is intentional, re-pin with \
+               `cargo run -p ssdx-lint -- --update-api` and commit the snapshot diff",
+    },
+];
+
+/// Look up an analysis spec by name.
+pub fn analysis_spec(name: &str) -> Option<&'static AnalysisSpec> {
+    ANALYSES.iter().find(|s| s.name == name)
+}
+
+/// Architectural layers, lowest first. A crate may depend only on crates
+/// in strictly lower layers (plus the audited [`INTRA_LAYER_EDGES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    /// The event kernel: `ssdx-sim` (time, events, rng, hashing).
+    Kernel,
+    /// Hardware component models, mutually independent.
+    Substrate,
+    /// The platform assembly: `ssdx-core` wires components into an SSD.
+    Platform,
+    /// Measurement and audit tooling that observes the platform.
+    Harness,
+    /// The `ssdexplorer` facade crate re-exporting the public surface.
+    Facade,
+}
+
+impl Layer {
+    /// The layer's lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Kernel => "kernel",
+            Layer::Substrate => "substrate",
+            Layer::Platform => "platform",
+            Layer::Harness => "harness",
+            Layer::Facade => "facade",
+        }
+    }
+}
+
+/// One workspace member's place in the layer table.
+#[derive(Debug, Clone, Copy)]
+pub struct CrateLayer {
+    /// Package name as written in `Cargo.toml` (`ssdx-sim`, …).
+    pub name: &'static str,
+    /// Workspace-relative crate directory (`""` for the root package).
+    pub dir: &'static str,
+    /// The layer the crate belongs to.
+    pub layer: Layer,
+}
+
+/// The declarative layer table, mirroring the ARCHITECTURE.md dependency
+/// map. Every workspace member (vendored stand-ins aside) appears here; a
+/// new crate must be placed in a layer before the workspace lints clean
+/// (`tests/lint_clean.rs` cross-checks this table against `[workspace]`
+/// members).
+pub const LAYERS: &[CrateLayer] = &[
+    CrateLayer {
+        name: "ssdx-sim",
+        dir: "crates/sim",
+        layer: Layer::Kernel,
+    },
+    CrateLayer {
+        name: "ssdx-nand",
+        dir: "crates/nand",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-dram",
+        dir: "crates/dram",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-interconnect",
+        dir: "crates/interconnect",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-cpu",
+        dir: "crates/cpu",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-channel",
+        dir: "crates/channel",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-ecc",
+        dir: "crates/ecc",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-compress",
+        dir: "crates/compress",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-hostif",
+        dir: "crates/hostif",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-ftl",
+        dir: "crates/ftl",
+        layer: Layer::Substrate,
+    },
+    CrateLayer {
+        name: "ssdx-core",
+        dir: "crates/core",
+        layer: Layer::Platform,
+    },
+    CrateLayer {
+        name: "ssdx-bench",
+        dir: "crates/bench",
+        layer: Layer::Harness,
+    },
+    CrateLayer {
+        name: "ssdx-alloctrack",
+        dir: "crates/alloctrack",
+        layer: Layer::Harness,
+    },
+    CrateLayer {
+        name: "ssdx-lint",
+        dir: "crates/lint",
+        layer: Layer::Harness,
+    },
+    CrateLayer {
+        name: "ssdexplorer",
+        dir: "",
+        layer: Layer::Facade,
+    },
+];
+
+/// Audited same-layer dependency edges: `(from, to, why)`. Anything not in
+/// this table must point strictly downward.
+pub const INTRA_LAYER_EDGES: &[(&str, &str, &str)] = &[(
+    "ssdx-channel",
+    "ssdx-nand",
+    "the channel controller drives NAND dies over ONFI; the bus model is \
+     inseparable from the command set it carries",
+)];
+
+/// Library crates whose public surface is snapshot under
+/// `crates/lint/api/<name>.api`: `(package name, src dir)`. The harness
+/// crates (bench CLI, alloctrack, this linter) are deliberately absent —
+/// nothing outside the workspace programs against them.
+pub const API_CRATES: &[(&str, &str)] = &[
+    ("ssdexplorer", "src"),
+    ("ssdx-channel", "crates/channel/src"),
+    ("ssdx-compress", "crates/compress/src"),
+    ("ssdx-core", "crates/core/src"),
+    ("ssdx-cpu", "crates/cpu/src"),
+    ("ssdx-dram", "crates/dram/src"),
+    ("ssdx-ecc", "crates/ecc/src"),
+    ("ssdx-ftl", "crates/ftl/src"),
+    ("ssdx-hostif", "crates/hostif/src"),
+    ("ssdx-interconnect", "crates/interconnect/src"),
+    ("ssdx-nand", "crates/nand/src"),
+    ("ssdx-sim", "crates/sim/src"),
+];
+
+/// Directory (workspace-relative) holding the committed API snapshots.
+pub const API_DIR: &str = "crates/lint/api";
+
+/// Counts proving the analyses actually looked at something; the tier-1
+/// blindness guards assert these match the tables above.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnalysisStats {
+    /// Crates whose manifest the layering analysis parsed.
+    pub layer_crates_checked: usize,
+    /// Crates whose extracted surface was compared against a snapshot
+    /// (or flagged as missing one).
+    pub api_crates_checked: usize,
+}
+
+/// One dependency edge read out of a manifest.
+struct ManifestDep {
+    name: String,
+    line: usize,
+    snippet: String,
+    dev: bool,
+}
+
+/// Parse the `ssdx-*` entries of `[dependencies]` / `[dev-dependencies]`.
+/// Line-based on purpose: workspace manifests are flat tables, and a
+/// hand-rolled scan keeps the linter dependency-free.
+fn manifest_deps(text: &str) -> Vec<ManifestDep> {
+    let mut out = Vec::new();
+    let mut section: Option<bool> = None; // Some(dev?) inside a dep table
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[dependencies]" => Some(false),
+                "[dev-dependencies]" => Some(true),
+                _ => None,
+            };
+            continue;
+        }
+        let Some(dev) = section else { continue };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if name.starts_with("ssdx-") {
+            out.push(ManifestDep {
+                name,
+                line: idx + 1,
+                snippet: raw.to_string(),
+                dev,
+            });
+        }
+    }
+    out
+}
+
+fn layer_of(name: &str) -> Option<Layer> {
+    LAYERS.iter().find(|c| c.name == name).map(|c| c.layer)
+}
+
+fn edge_allowed(from: Layer, to: Layer, from_name: &str, to_name: &str) -> bool {
+    to < from
+        || INTRA_LAYER_EDGES
+            .iter()
+            .any(|(f, t, _)| *f == from_name && *t == to_name)
+}
+
+/// The crate (from [`LAYERS`]) owning a workspace-relative source path.
+fn owning_crate(rel: &str) -> Option<&'static CrateLayer> {
+    LAYERS
+        .iter()
+        .filter(|c| !c.dir.is_empty())
+        .find(|c| rel.starts_with(c.dir) && rel.as_bytes().get(c.dir.len()) == Some(&b'/'))
+        .or_else(|| {
+            // Anything not under a member crate (src/, tests/, examples/)
+            // belongs to the root facade package.
+            LAYERS.iter().find(|c| c.dir.is_empty())
+        })
+}
+
+fn line_col_snippet(text: &str, offset: usize) -> (usize, usize, String) {
+    let offset = offset.min(text.len());
+    let line_start = text[..offset].rfind('\n').map_or(0, |p| p + 1);
+    let line = text[..offset].bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = text[line_start..offset].chars().count() + 1;
+    let line_end = text[offset..].find('\n').map_or(text.len(), |p| offset + p);
+    (line, col, text[line_start..line_end].to_string())
+}
+
+/// The crate name (`ssdx-foo`) for an in-code identifier (`ssdx_foo`).
+fn crate_name_of_ident(ident: &str) -> String {
+    ident.replace('_', "-")
+}
+
+/// Run the crate-layering analysis over every member manifest plus the
+/// parsed in-code crate references.
+fn check_layers(
+    root: &Path,
+    parsed: &[(usize, parse::ParsedFile)],
+    files: &[SourceText],
+    diags: &mut Vec<Diagnostic>,
+    stats: &mut AnalysisStats,
+) -> io::Result<()> {
+    let help = analysis_spec(LAYER_VIOLATION).map(|s| s.help);
+    for member in LAYERS {
+        let manifest_rel = if member.dir.is_empty() {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{}/Cargo.toml", member.dir)
+        };
+        let manifest_path = root.join(&manifest_rel);
+        if !manifest_path.is_file() {
+            // Absent members are skipped so the analysis also runs over
+            // the synthetic mini-workspaces the tests build; tier-1's
+            // blindness guard pins the real tree to the full table.
+            continue;
+        }
+        let text = fs::read_to_string(&manifest_path)?;
+        stats.layer_crates_checked += 1;
+        let deps = manifest_deps(&text);
+
+        // (1) Every declared edge points at a lower layer.
+        for dep in &deps {
+            let Some(to_layer) = layer_of(&dep.name) else {
+                continue;
+            };
+            if !edge_allowed(member.layer, to_layer, member.name, &dep.name) {
+                diags.push(Diagnostic {
+                    rule: LAYER_VIOLATION,
+                    path: manifest_rel.clone(),
+                    line: dep.line,
+                    col: 1,
+                    width: dep.name.chars().count(),
+                    message: format!(
+                        "`{}` ({}) must not depend on `{}` ({}): edges point strictly \
+                         toward lower layers",
+                        member.name,
+                        member.layer.name(),
+                        dep.name,
+                        to_layer.name(),
+                    ),
+                    snippet: dep.snippet.clone(),
+                    help,
+                });
+            }
+        }
+
+        // (2) Every declared edge is referenced somewhere in the crate.
+        let ident_of = |dep: &str| dep.replace('-', "_");
+        for dep in &deps {
+            if layer_of(&dep.name).is_none() {
+                continue;
+            }
+            let ident = ident_of(&dep.name);
+            let used = parsed.iter().any(|(file_idx, p)| {
+                let rel = &files[*file_idx].rel;
+                owning_crate(rel).is_some_and(|c| c.name == member.name)
+                    && p.crate_refs.iter().any(|(n, _)| *n == ident)
+            });
+            if !used {
+                diags.push(Diagnostic {
+                    rule: LAYER_VIOLATION,
+                    path: manifest_rel.clone(),
+                    line: dep.line,
+                    col: 1,
+                    width: dep.name.chars().count(),
+                    message: format!(
+                        "`{}` declares `{}` in [{}dependencies] but no source under \
+                         `{}` references `{ident}`",
+                        member.name,
+                        dep.name,
+                        if dep.dev { "dev-" } else { "" },
+                        if member.dir.is_empty() {
+                            "src|tests|examples"
+                        } else {
+                            member.dir
+                        },
+                    ),
+                    snippet: dep.snippet.clone(),
+                    help,
+                });
+            }
+        }
+    }
+
+    // (3) In-code references respect the layering even when the manifest
+    // edge is legal (e.g. a doc example sneaking an upward path in).
+    for (file_idx, p) in parsed {
+        let file = &files[*file_idx];
+        let Some(owner) = owning_crate(&file.rel) else {
+            continue;
+        };
+        for (ident, offset) in &p.crate_refs {
+            let target = crate_name_of_ident(ident);
+            if target == owner.name {
+                continue;
+            }
+            let Some(to_layer) = layer_of(&target) else {
+                continue;
+            };
+            if !edge_allowed(owner.layer, to_layer, owner.name, &target) {
+                let (line, col, snippet) = line_col_snippet(&file.text, *offset);
+                diags.push(Diagnostic {
+                    rule: LAYER_VIOLATION,
+                    path: file.rel.clone(),
+                    line,
+                    col,
+                    width: ident.chars().count(),
+                    message: format!(
+                        "`{}` ({}) code references `{target}` ({}): edges point \
+                         strictly toward lower layers",
+                        owner.name,
+                        owner.layer.name(),
+                        to_layer.name(),
+                    ),
+                    snippet,
+                    help,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Module prefix for a source file inside a crate's `src/` tree, or `None`
+/// when the file is not API surface (binaries).
+fn module_prefix(rel_in_src: &str) -> Option<String> {
+    if rel_in_src == "lib.rs" {
+        return Some(String::new());
+    }
+    if rel_in_src == "main.rs" || rel_in_src.starts_with("bin/") {
+        return None;
+    }
+    let stem = rel_in_src.strip_suffix(".rs")?;
+    let stem = stem.strip_suffix("/mod").unwrap_or(stem);
+    Some(stem.replace('/', "::"))
+}
+
+/// Extract one crate's public surface as sorted, deduplicated lines.
+fn extract_crate_api(
+    src_dir: &str,
+    parsed: &[(usize, parse::ParsedFile)],
+    files: &[SourceText],
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (file_idx, p) in parsed {
+        let rel = &files[*file_idx].rel;
+        let Some(in_src) = rel.strip_prefix(src_dir).and_then(|r| r.strip_prefix('/')) else {
+            continue;
+        };
+        let Some(prefix) = module_prefix(in_src) else {
+            continue;
+        };
+        for item in &p.pub_items {
+            let module = match (prefix.is_empty(), item.module_path.is_empty()) {
+                (true, true) => String::new(),
+                (true, false) => item.module_path.clone(),
+                (false, true) => prefix.clone(),
+                (false, false) => format!("{prefix}::{}", item.module_path),
+            };
+            if module.is_empty() {
+                lines.push(item.entry.clone());
+            } else {
+                lines.push(format!("{module} :: {}", item.entry));
+            }
+        }
+    }
+    lines.sort();
+    lines.dedup();
+    lines
+}
+
+/// Render one crate's snapshot file contents (header + sorted surface).
+fn render_snapshot(crate_name: &str, lines: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# public API surface of `{crate_name}`, pinned by ssdx-lint's api-drift analysis.\n"
+    ));
+    out.push_str(
+        "# one line per public item; sorted; regenerate (never hand-edit) with:\n\
+         #   cargo run -p ssdx-lint -- --update-api\n",
+    );
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The non-comment, non-blank payload lines of a snapshot file.
+fn snapshot_payload(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|l| l.to_string())
+        .collect()
+}
+
+/// Summarize an API diff on one line: up to `cap` entries per direction.
+fn diff_summary(added: &[&String], removed: &[&String], cap: usize) -> String {
+    let mut parts = Vec::new();
+    for entry in added.iter().take(cap) {
+        parts.push(format!("+ {entry}"));
+    }
+    if added.len() > cap {
+        parts.push(format!("+ …{} more", added.len() - cap));
+    }
+    for entry in removed.iter().take(cap) {
+        parts.push(format!("- {entry}"));
+    }
+    if removed.len() > cap {
+        parts.push(format!("- …{} more", removed.len() - cap));
+    }
+    parts.join("; ")
+}
+
+/// Run the api-drift analysis: compare each library crate's extracted
+/// surface against its committed snapshot.
+fn check_api(
+    root: &Path,
+    parsed: &[(usize, parse::ParsedFile)],
+    files: &[SourceText],
+    diags: &mut Vec<Diagnostic>,
+    stats: &mut AnalysisStats,
+) -> io::Result<()> {
+    let help = analysis_spec(API_DRIFT).map(|s| s.help);
+    let mut expected_snapshots = Vec::new();
+    for (crate_name, src_dir) in API_CRATES {
+        let has_sources = files.iter().any(|f| {
+            f.rel.starts_with(src_dir) && f.rel.as_bytes().get(src_dir.len()) == Some(&b'/')
+        });
+        if !has_sources {
+            continue; // synthetic mini-workspaces; guarded in tier-1
+        }
+        stats.api_crates_checked += 1;
+        let snap_rel = format!("{API_DIR}/{crate_name}.api");
+        expected_snapshots.push(format!("{crate_name}.api"));
+        let surface = extract_crate_api(src_dir, parsed, files);
+        let snap_path = root.join(&snap_rel);
+        if !snap_path.is_file() {
+            diags.push(Diagnostic {
+                rule: API_DRIFT,
+                path: snap_rel,
+                line: 1,
+                col: 1,
+                width: 1,
+                message: format!(
+                    "no committed API snapshot for `{crate_name}` ({} public items extracted)",
+                    surface.len()
+                ),
+                snippet: String::new(),
+                help,
+            });
+            continue;
+        }
+        let committed = snapshot_payload(&fs::read_to_string(&snap_path)?);
+        if committed != surface {
+            let added: Vec<&String> = surface.iter().filter(|l| !committed.contains(l)).collect();
+            let removed: Vec<&String> = committed.iter().filter(|l| !surface.contains(l)).collect();
+            diags.push(Diagnostic {
+                rule: API_DRIFT,
+                path: snap_rel,
+                line: 1,
+                col: 1,
+                width: 1,
+                message: format!(
+                    "public API of `{crate_name}` drifted from its snapshot \
+                     ({} added, {} removed): {}",
+                    added.len(),
+                    removed.len(),
+                    diff_summary(&added, &removed, 3),
+                ),
+                snippet: String::new(),
+                help,
+            });
+        }
+    }
+
+    // Stale snapshots (crate renamed or removed) would silently pin
+    // nothing; flag them so the api/ directory mirrors API_CRATES exactly.
+    let api_dir = root.join(API_DIR);
+    if api_dir.is_dir() && !expected_snapshots.is_empty() {
+        let mut names: Vec<String> = fs::read_dir(&api_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".api"))
+            .collect();
+        names.sort();
+        for name in names {
+            if !expected_snapshots.contains(&name) {
+                diags.push(Diagnostic {
+                    rule: API_DRIFT,
+                    path: format!("{API_DIR}/{name}"),
+                    line: 1,
+                    col: 1,
+                    width: 1,
+                    message: format!(
+                        "stale snapshot `{name}`: no crate in the API_CRATES table claims it"
+                    ),
+                    snippet: String::new(),
+                    help,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run every workspace-level analysis over the collected sources.
+pub fn run(root: &Path, files: &[SourceText]) -> io::Result<(Vec<Diagnostic>, AnalysisStats)> {
+    let parsed: Vec<(usize, parse::ParsedFile)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (i, parse::parse_file(&f.text)))
+        .collect();
+    let mut diags = Vec::new();
+    let mut stats = AnalysisStats::default();
+    check_layers(root, &parsed, files, &mut diags, &mut stats)?;
+    check_api(root, &parsed, files, &mut diags, &mut stats)?;
+    Ok((diags, stats))
+}
+
+/// Render every crate's snapshot from the tree as `(name, contents)`,
+/// sorted by crate name — the pure core of `--update-api`.
+pub fn api_snapshots(files: &[SourceText]) -> Vec<(String, String)> {
+    let parsed: Vec<(usize, parse::ParsedFile)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (i, parse::parse_file(&f.text)))
+        .collect();
+    let mut out = Vec::new();
+    for (crate_name, src_dir) in API_CRATES {
+        let has_sources = files.iter().any(|f| {
+            f.rel.starts_with(src_dir) && f.rel.as_bytes().get(src_dir.len()) == Some(&b'/')
+        });
+        if !has_sources {
+            continue;
+        }
+        let surface = extract_crate_api(src_dir, &parsed, files);
+        out.push((
+            crate_name.to_string(),
+            render_snapshot(crate_name, &surface),
+        ));
+    }
+    out
+}
+
+/// Regenerate the snapshot files under `crates/lint/api/`, writing only
+/// those whose contents change. Returns `(crate name, changed)` pairs.
+pub fn update_api_snapshots(root: &Path) -> io::Result<Vec<(String, bool)>> {
+    let files = crate::engine::collect_sources(root)?;
+    let api_dir = root.join(API_DIR);
+    fs::create_dir_all(&api_dir)?;
+    let mut out = Vec::new();
+    for (name, contents) in api_snapshots(&files) {
+        let path = api_dir.join(format!("{name}.api"));
+        let current = fs::read_to_string(&path).unwrap_or_default();
+        let changed = current != contents;
+        if changed {
+            fs::write(&path, &contents)?;
+        }
+        out.push((name, changed));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_well_formed() {
+        let mut names: Vec<&str> = LAYERS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LAYERS.len(), "layer table names are unique");
+        for (from, to, why) in INTRA_LAYER_EDGES {
+            assert!(!why.is_empty(), "intra-layer edges carry a reason");
+            assert_eq!(
+                layer_of(from),
+                layer_of(to),
+                "{from}->{to}: exception table is for same-layer edges only"
+            );
+        }
+        for (name, src_dir) in API_CRATES {
+            assert!(
+                layer_of(name).is_some(),
+                "API crate {name} must appear in the layer table"
+            );
+            assert!(src_dir.ends_with("src") || *src_dir == "src");
+        }
+        for a in ANALYSES {
+            assert!(!a.contract.is_empty() && !a.help.is_empty());
+        }
+    }
+
+    #[test]
+    fn edge_rules() {
+        assert!(edge_allowed(
+            Layer::Platform,
+            Layer::Kernel,
+            "ssdx-core",
+            "ssdx-sim"
+        ));
+        assert!(edge_allowed(
+            Layer::Substrate,
+            Layer::Substrate,
+            "ssdx-channel",
+            "ssdx-nand"
+        ));
+        assert!(!edge_allowed(
+            Layer::Substrate,
+            Layer::Substrate,
+            "ssdx-nand",
+            "ssdx-channel"
+        ));
+        assert!(!edge_allowed(
+            Layer::Kernel,
+            Layer::Platform,
+            "ssdx-sim",
+            "ssdx-core"
+        ));
+        assert!(!edge_allowed(
+            Layer::Substrate,
+            Layer::Platform,
+            "ssdx-ftl",
+            "ssdx-core"
+        ));
+    }
+
+    #[test]
+    fn manifest_deps_reads_both_tables() {
+        let toml = "\
+[package]
+name = \"x\"
+
+[dependencies]
+ssdx-sim.workspace = true
+serde = { workspace = true }
+ssdx-nand = { path = \"../nand\" }
+
+[dev-dependencies]
+ssdx-lint.workspace = true
+
+[lints]
+workspace = true
+";
+        let deps = manifest_deps(toml);
+        let got: Vec<(&str, bool)> = deps.iter().map(|d| (d.name.as_str(), d.dev)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("ssdx-sim", false),
+                ("ssdx-nand", false),
+                ("ssdx-lint", true)
+            ]
+        );
+        assert_eq!(deps[0].line, 5);
+    }
+
+    #[test]
+    fn module_prefixes() {
+        assert_eq!(module_prefix("lib.rs").as_deref(), Some(""));
+        assert_eq!(module_prefix("hash.rs").as_deref(), Some("hash"));
+        assert_eq!(module_prefix("hash/mod.rs").as_deref(), Some("hash"));
+        assert_eq!(module_prefix("a/b.rs").as_deref(), Some("a::b"));
+        assert_eq!(module_prefix("main.rs"), None);
+        assert_eq!(module_prefix("bin/tool.rs"), None);
+    }
+
+    #[test]
+    fn owning_crate_maps_paths() {
+        assert_eq!(
+            owning_crate("crates/sim/src/lib.rs").unwrap().name,
+            "ssdx-sim"
+        );
+        assert_eq!(
+            owning_crate("crates/sim/tests/props.rs").unwrap().name,
+            "ssdx-sim"
+        );
+        assert_eq!(owning_crate("src/lib.rs").unwrap().name, "ssdexplorer");
+        assert_eq!(owning_crate("tests/golden.rs").unwrap().name, "ssdexplorer");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_ignores_header() {
+        let lines = vec!["fn a()".to_string(), "struct B".to_string()];
+        let rendered = render_snapshot("ssdx-x", &lines);
+        assert_eq!(snapshot_payload(&rendered), lines);
+    }
+}

@@ -353,30 +353,60 @@ pub struct WorkspaceReport {
     pub diagnostics: Vec<Diagnostic>,
     /// How many `.rs` files the walker actually lexed.
     pub files_scanned: usize,
+    /// Crates whose manifest the layering analysis parsed.
+    pub layer_crates_checked: usize,
+    /// Crates whose public surface the api-drift analysis compared.
+    pub api_crates_checked: usize,
 }
 
-/// Lint every Rust source under `root` (a workspace checkout).
-pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
-    let rules_set = rules::registry();
+/// One collected source file, workspace-relative path plus contents —
+/// what the per-file rules and the cross-file analyses both consume.
+#[derive(Debug, Clone)]
+pub struct SourceText {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// The file's full text.
+    pub text: String,
+}
+
+/// Read every Rust source the audit covers, in sorted path order.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceText>> {
     let mut files = Vec::new();
     for top in ["crates", "src", "tests", "examples"] {
         collect_rs_files(root, &root.join(top), &mut files)?;
     }
     files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for rel in files {
+        let text = fs::read_to_string(root.join(&rel))?;
+        out.push(SourceText {
+            rel: rel.to_string_lossy().replace('\\', "/"),
+            text,
+        });
+    }
+    Ok(out)
+}
+
+/// Lint every Rust source under `root` (a workspace checkout): the
+/// per-file rules first, then the cross-file analyses
+/// ([`crate::analysis`]) over the same collected sources.
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let rules_set = rules::registry();
+    let files = collect_sources(root)?;
 
     let mut diagnostics = Vec::new();
-    let mut files_scanned = 0usize;
-    for rel in &files {
-        let text = fs::read_to_string(root.join(rel))?;
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        diagnostics.extend(lint_source(&rel_str, &text, &rules_set));
-        files_scanned += 1;
+    for file in &files {
+        diagnostics.extend(lint_source(&file.rel, &file.text, &rules_set));
     }
+    let (analysis_diags, stats) = crate::analysis::run(root, &files)?;
+    diagnostics.extend(analysis_diags);
     diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(WorkspaceReport {
         diagnostics,
-        files_scanned,
+        files_scanned: files.len(),
+        layer_crates_checked: stats.layer_crates_checked,
+        api_crates_checked: stats.api_crates_checked,
     })
 }
 

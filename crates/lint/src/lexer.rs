@@ -56,8 +56,11 @@ impl RegionKind {
 /// A half-open byte range `[start, end)` of one [`RegionKind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Region {
+    /// What kind of text this region holds.
     pub kind: RegionKind,
+    /// Byte offset where the region begins (inclusive).
     pub start: usize,
+    /// Byte offset where the region ends (exclusive).
     pub end: usize,
 }
 

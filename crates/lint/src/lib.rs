@@ -43,11 +43,21 @@
 //! assert!(lint_source("crates/core/src/fresh.rs", prose, &rules).is_empty());
 //! ```
 
+pub mod analysis;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
+pub use analysis::{
+    analysis_spec, api_snapshots, update_api_snapshots, AnalysisSpec, AnalysisStats, ANALYSES,
+    API_CRATES, API_DIR, LAYERS,
+};
 pub use diag::{render_json, render_text, Diagnostic};
-pub use engine::{in_scope, lint_source, lint_workspace, SourceFile, WorkspaceReport, SKIP_DIRS};
-pub use rules::{meta, registry, spec, Finding, Rule, RuleSpec, RULES};
+pub use engine::{
+    collect_sources, in_scope, lint_source, lint_workspace, SourceFile, SourceText,
+    WorkspaceReport, SKIP_DIRS,
+};
+pub use parse::{parse_file, ParsedFile, PubItem, UsePath};
+pub use rules::{meta, registry, spec, Finding, Rule, RuleSpec, HOT_PATHS, RULES};

@@ -1,12 +1,15 @@
 //! The `ssdx-lint` CLI.
 //!
 //! ```text
-//! ssdx-lint [--workspace] [--json] [--list] [PATH ...]
+//! ssdx-lint [--workspace] [--json] [--list] [--update-api] [PATH ...]
 //! ```
 //!
-//! With `--workspace` (or no arguments) the whole workspace is audited;
-//! explicit paths lint individual files, with scope matching driven by the
-//! workspace-relative form of each path. Exit codes: `0` clean, `1` at
+//! With `--workspace` (or no arguments) the whole workspace is audited:
+//! the per-file rules plus the cross-file analyses (crate layering and
+//! public-API snapshots). Explicit paths lint individual files, with scope
+//! matching driven by the workspace-relative form of each path.
+//! `--update-api` regenerates the committed snapshots under
+//! `crates/lint/api/` instead of linting. Exit codes: `0` clean, `1` at
 //! least one finding, `2` usage or I/O error.
 //!
 //! Output goes through locked, buffered handles with `writeln!` rather than
@@ -19,22 +22,27 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ssdx_lint::{lint_source, lint_workspace, registry, render_json, render_text, RULES};
+use ssdx_lint::{
+    lint_source, lint_workspace, registry, render_json, render_text, update_api_snapshots,
+    ANALYSES, RULES,
+};
 
 struct Options {
     json: bool,
     list: bool,
     workspace: bool,
+    update_api: bool,
     paths: Vec<String>,
 }
 
 const USAGE: &str = "\
-usage: ssdx-lint [--workspace] [--json] [--list] [PATH ...]
+usage: ssdx-lint [--workspace] [--json] [--list] [--update-api] [PATH ...]
 
   --workspace   audit every Rust source in the workspace (default when no
-                paths are given)
+                paths are given), including the cross-file analyses
   --json        emit one machine-readable JSON document instead of text
-  --list        print the rule registry (name + contract) and exit
+  --list        print the rule and analysis registry (name + contract)
+  --update-api  regenerate the public-API snapshots under crates/lint/api/
   -h, --help    show this help
 
 exit codes: 0 clean, 1 findings reported, 2 usage or I/O error";
@@ -49,6 +57,7 @@ fn main() -> ExitCode {
         json: false,
         list: false,
         workspace: false,
+        update_api: false,
         paths: Vec::new(),
     };
     for arg in env::args().skip(1) {
@@ -56,6 +65,7 @@ fn main() -> ExitCode {
             "--json" => opts.json = true,
             "--list" => opts.list = true,
             "--workspace" => opts.workspace = true,
+            "--update-api" => opts.update_api = true,
             "-h" | "--help" => {
                 let _ = writeln!(out, "{USAGE}");
                 return ExitCode::SUCCESS;
@@ -72,7 +82,29 @@ fn main() -> ExitCode {
         for rule in RULES {
             let _ = writeln!(out, "{:<34} {}", rule.name, rule.contract);
         }
+        for analysis in ANALYSES {
+            let _ = writeln!(out, "{:<34} {}", analysis.name, analysis.contract);
+        }
         return ExitCode::SUCCESS;
+    }
+
+    if opts.update_api {
+        return match workspace_root().and_then(|root| update_api_snapshots(&root)) {
+            Ok(written) => {
+                for (name, changed) in written {
+                    let _ = writeln!(
+                        out,
+                        "{name}.api: {}",
+                        if changed { "updated" } else { "unchanged" }
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                let _ = writeln!(err, "ssdx-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     let run = if opts.paths.is_empty() || opts.workspace {

@@ -61,14 +61,21 @@ pub trait Rule {
 /// carry their justification here, in the table, where review sees them.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleSpec {
+    /// Registry name (kebab-case; what `ssdx-lint::allow(...)` references).
     pub name: &'static str,
+    /// One-line statement of the contract the rule enforces.
     pub contract: &'static str,
+    /// What to do instead when the rule fires.
     pub help: &'static str,
     /// Literal token patterns matched word-boundary-exactly in code regions.
     pub patterns: &'static [&'static str],
+    /// Path patterns the rule covers.
     pub include: &'static [&'static str],
     /// `(path pattern, why that path is exempt)`.
     pub exempt: &'static [(&'static str, &'static str)],
+    /// Skip matches inside `#[cfg(test)]` items (per [`crate::parse`]):
+    /// for rules whose contract binds production code only.
+    pub skip_test_code: bool,
 }
 
 /// Every Rust source the walker visits (workspace-relative roots).
@@ -90,6 +97,7 @@ pub const RULES: &[RuleSpec] = &[
             "the pre-rewrite FTL kept verbatim as the state-identity oracle; editing it would \
              void its 'preserved unmodified' guarantee",
         )],
+        skip_test_code: false,
     },
     RuleSpec {
         name: "no-wall-clock",
@@ -108,6 +116,7 @@ pub const RULES: &[RuleSpec] = &[
                 "benches and the experiments binary time real executions by design",
             ),
         ],
+        skip_test_code: false,
     },
     RuleSpec {
         name: "unsafe-outside-alloctrack",
@@ -121,6 +130,7 @@ pub const RULES: &[RuleSpec] = &[
             "implementing GlobalAlloc requires unsafe; this is the audited exception the rule \
              exists to protect",
         )],
+        skip_test_code: false,
     },
     RuleSpec {
         name: "no-thread-spawn-outside-parallel",
@@ -140,6 +150,7 @@ pub const RULES: &[RuleSpec] = &[
             "crates/core/src/parallel.rs",
             "the executor itself is the one owner of OS threads",
         )],
+        skip_test_code: false,
     },
     RuleSpec {
         name: "no-ambient-randomness",
@@ -156,6 +167,7 @@ pub const RULES: &[RuleSpec] = &[
         ],
         include: EVERYWHERE,
         exempt: &[],
+        skip_test_code: false,
     },
     RuleSpec {
         name: "no-print-in-lib",
@@ -169,7 +181,32 @@ pub const RULES: &[RuleSpec] = &[
             "crates/bench/src",
             "the experiments binary and its helpers are the workspace's CLI surface",
         )],
+        skip_test_code: false,
     },
+    RuleSpec {
+        name: "no-panic-in-hot-path",
+        contract: "hot paths never panic: the scheduler, mapping, session step loop, and \
+                   command paths degrade through Result, not process death",
+        help: "return a Result (the *_try twin pattern), use let-else/match on the Option, \
+               or justify the invariant with an audited \
+               `ssdx-lint::allow(no-panic-in-hot-path): <why>`",
+        patterns: &["unwrap", "expect", "panic!", "unreachable!", "todo!"],
+        include: HOT_PATHS,
+        exempt: &[],
+        skip_test_code: true,
+    },
+];
+
+/// The designated hot-path modules: code on the per-event / per-command
+/// simulation path, where a panic kills a multi-hour sweep. The list is
+/// deliberately file-precise — widening it is a reviewed table change.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/sim/src/scheduler.rs",
+    "crates/ftl/src/mapping.rs",
+    "crates/core/src/session.rs",
+    "crates/channel/src/controller.rs",
+    "crates/nand/src/die.rs",
+    "crates/nand/src/onfi.rs",
 ];
 
 /// Names of the suppression-audit diagnostics the engine itself emits.
@@ -222,10 +259,18 @@ impl Rule for PatternRule {
     }
 
     fn check(&self, file: &SourceFile<'_>) -> Vec<Finding> {
+        // Test-code exemption is opt-in per rule and span-precise: the
+        // item parser reports each `#[cfg(test)]` item's byte range.
+        let test_spans = if self.spec.skip_test_code {
+            crate::parse::test_spans(file.text())
+        } else {
+            Vec::new()
+        };
+        let in_test = |offset: usize| test_spans.iter().any(|&(s, e)| s <= offset && offset < e);
         let mut findings = Vec::new();
         for pattern in self.spec.patterns {
             for offset in find_word_matches(file.text(), pattern) {
-                if file.range_is_code(offset, offset + pattern.len()) {
+                if file.range_is_code(offset, offset + pattern.len()) && !in_test(offset) {
                     findings.push(Finding {
                         rule: self.spec.name,
                         offset,

@@ -1,0 +1,195 @@
+//! Fixture tests for the cross-file analyses: an intentionally introduced
+//! layer violation, an unused declared dependency, and a drifted API
+//! snapshot must each fail `lint_workspace` over a synthetic tree, and
+//! the `update_api_snapshots` cycle must clear the drift.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ssdx_lint::{lint_workspace, update_api_snapshots, Diagnostic};
+
+/// A scratch workspace that removes itself on drop.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("ssdx-lint-analysis-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("temp workspace dir");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+        TempWs { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("dirs");
+        fs::write(path, text).expect("write file");
+    }
+
+    fn lint(&self) -> Vec<Diagnostic> {
+        lint_workspace(&self.root).expect("lint pass").diagnostics
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn of_rule<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.rule == rule).collect()
+}
+
+/// Pin the sim crate's snapshot so api-drift findings do not distract the
+/// layering assertions (sim is an API-tracked crate).
+fn pin_api(ws: &TempWs) {
+    update_api_snapshots(&ws.root).expect("snapshot regeneration");
+}
+
+#[test]
+fn upward_manifest_edge_is_a_layer_violation() {
+    let ws = TempWs::new("upward");
+    // ssdx-sim (kernel) depending on ssdx-core (platform) inverts the
+    // layering — both the manifest edge and the in-code path must fire.
+    ws.write(
+        "crates/sim/Cargo.toml",
+        "[package]\nname = \"ssdx-sim\"\n\n[dependencies]\nssdx-core = { path = \"../core\" }\n",
+    );
+    ws.write(
+        "crates/sim/src/lib.rs",
+        "//! fixture\nuse ssdx_core::config::SsdConfig;\n\npub fn probe() -> u32 {\n    0\n}\n",
+    );
+    pin_api(&ws);
+    let diags = ws.lint();
+    let hits = of_rule(&diags, "layer-violation");
+    let manifest_hit = hits
+        .iter()
+        .find(|d| d.path == "crates/sim/Cargo.toml")
+        .expect("manifest edge flagged");
+    assert_eq!(manifest_hit.line, 5, "points at the dependency line");
+    assert!(manifest_hit.message.contains("`ssdx-sim` (kernel)"));
+    assert!(manifest_hit.message.contains("`ssdx-core` (platform)"));
+    assert!(
+        hits.iter().any(|d| d.path == "crates/sim/src/lib.rs"),
+        "in-code upward reference flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn sibling_substrate_edge_outside_the_exception_table_fires() {
+    let ws = TempWs::new("sibling");
+    // nand -> channel is the reverse of the audited channel -> nand edge.
+    ws.write(
+        "crates/nand/Cargo.toml",
+        "[package]\nname = \"ssdx-nand\"\n\n[dependencies]\nssdx-channel.workspace = true\n",
+    );
+    ws.write(
+        "crates/nand/src/lib.rs",
+        "//! fixture\npub fn probe() -> ssdx_channel::Marker {\n    ssdx_channel::Marker\n}\n",
+    );
+    pin_api(&ws);
+    let diags = ws.lint();
+    let hits = of_rule(&diags, "layer-violation");
+    assert!(
+        hits.iter().any(|d| d.path == "crates/nand/Cargo.toml"),
+        "sibling edge must fire: {hits:?}"
+    );
+}
+
+#[test]
+fn the_audited_channel_to_nand_edge_is_allowed() {
+    let ws = TempWs::new("exception");
+    ws.write(
+        "crates/channel/Cargo.toml",
+        "[package]\nname = \"ssdx-channel\"\n\n[dependencies]\nssdx-nand.workspace = true\n",
+    );
+    ws.write(
+        "crates/channel/src/lib.rs",
+        "//! fixture\npub use ssdx_nand::NandOp;\n",
+    );
+    pin_api(&ws);
+    let diags = ws.lint();
+    assert!(
+        of_rule(&diags, "layer-violation").is_empty(),
+        "the exception-table edge is clean: {diags:?}"
+    );
+}
+
+#[test]
+fn declared_but_unused_dependency_fires() {
+    let ws = TempWs::new("unused");
+    ws.write(
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"ssdx-core\"\n\n[dependencies]\nssdx-sim.workspace = true\n\
+         ssdx-nand.workspace = true\n",
+    );
+    // Only ssdx_sim is referenced; ssdx-nand is a stale declaration.
+    ws.write(
+        "crates/core/src/lib.rs",
+        "//! fixture\npub use ssdx_sim::SimTime;\n",
+    );
+    pin_api(&ws);
+    let diags = ws.lint();
+    let hits = of_rule(&diags, "layer-violation");
+    assert_eq!(hits.len(), 1, "exactly the unused edge: {hits:?}");
+    assert!(hits[0].message.contains("declares `ssdx-nand`"));
+    assert!(hits[0].message.contains("no source"));
+}
+
+#[test]
+fn api_drift_fires_and_update_api_clears_it() {
+    let ws = TempWs::new("drift");
+    ws.write(
+        "crates/sim/src/lib.rs",
+        "//! fixture\npub fn quantile(q: f64) -> u64 {\n    q as u64\n}\n",
+    );
+    // No snapshot yet: missing-snapshot finding.
+    let missing = ws.lint();
+    let hits = of_rule(&missing, "api-drift");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("no committed API snapshot"));
+
+    // Pin, then the tree is clean.
+    let written = update_api_snapshots(&ws.root).expect("regeneration");
+    assert_eq!(written, vec![("ssdx-sim".to_string(), true)]);
+    assert!(of_rule(&ws.lint(), "api-drift").is_empty());
+
+    // Change the public surface: drift, with a diff-style message.
+    ws.write(
+        "crates/sim/src/lib.rs",
+        "//! fixture\npub fn quantile(q: f64, n: u64) -> u64 {\n    q as u64 + n\n}\n",
+    );
+    let drifted = ws.lint();
+    let hits = of_rule(&drifted, "api-drift");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0]
+        .message
+        .contains("+ fn quantile(q: f64, n: u64) -> u64"));
+    assert!(hits[0].message.contains("- fn quantile(q: f64) -> u64"));
+
+    // A second regeneration reports the change, and a third is a no-op.
+    assert_eq!(
+        update_api_snapshots(&ws.root).expect("regeneration"),
+        vec![("ssdx-sim".to_string(), true)]
+    );
+    assert_eq!(
+        update_api_snapshots(&ws.root).expect("regeneration"),
+        vec![("ssdx-sim".to_string(), false)]
+    );
+}
+
+#[test]
+fn stale_snapshots_are_flagged() {
+    let ws = TempWs::new("stale");
+    ws.write("crates/sim/src/lib.rs", "//! fixture\npub fn f() {}\n");
+    pin_api(&ws);
+    ws.write("crates/lint/api/ssdx-gone.api", "# orphan\nfn g()\n");
+    let diags = ws.lint();
+    let hits = of_rule(&diags, "api-drift");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("stale snapshot `ssdx-gone.api`"));
+}

@@ -1,0 +1,179 @@
+//! Integration tests for the `ssdx-lint` binary: exact output pins for
+//! `--list`, the text and `--json` report shapes, per-file args, the
+//! `--update-api` workflow, exit codes 0/1/2, and byte-identical reports
+//! across runs.
+//!
+//! Synthetic workspaces are built under the OS temp dir (one per test, so
+//! parallel tests never collide) at paths the analyses skip: the layer
+//! and API tables match on crate directories, so a `crates/demo` member
+//! exercises the rule engine without tripping the workspace-level checks.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use ssdx_lint::{spec, ANALYSES, RULES};
+
+const BIN: &str = env!("CARGO_BIN_EXE_ssdx-lint");
+
+/// A scratch workspace that removes itself on drop.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("ssdx-lint-cli-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("temp workspace dir");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+        TempWs { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("dirs");
+        fs::write(path, text).expect("write source");
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run_in(dir: &Path, args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn ssdx-lint")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn list_prints_rules_then_analyses_exactly() {
+    let ws = TempWs::new("list");
+    let out = run_in(&ws.root, &["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let mut expected = String::new();
+    for rule in RULES {
+        let _ = writeln!(expected, "{:<34} {}", rule.name, rule.contract);
+    }
+    for analysis in ANALYSES {
+        let _ = writeln!(expected, "{:<34} {}", analysis.name, analysis.contract);
+    }
+    assert_eq!(stdout_of(&out), expected);
+}
+
+#[test]
+fn clean_workspace_exits_zero_with_pinned_summary() {
+    let ws = TempWs::new("clean");
+    ws.write("crates/demo/src/lib.rs", "pub fn ok() {}\n");
+    let out = run_in(&ws.root, &["--workspace"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {:?}", out.stderr);
+    assert_eq!(stdout_of(&out), "ssdx-lint: clean (1 files scanned)\n");
+}
+
+#[test]
+fn json_report_shape_is_pinned() {
+    let ws = TempWs::new("json");
+    ws.write("crates/demo/src/lib.rs", "use std::collections::HashMap;\n");
+    let out = run_in(&ws.root, &["--workspace", "--json"]);
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let contract = spec("no-default-hasher").expect("registered").contract;
+    let expected = format!(
+        "{{\"version\":1,\"files_scanned\":1,\"count\":1,\"findings\":[\
+         {{\"rule\":\"no-default-hasher\",\"path\":\"crates/demo/src/lib.rs\",\
+         \"line\":1,\"col\":23,\"message\":\"`HashMap` violates: {contract}\",\
+         \"snippet\":\"use std::collections::HashMap;\"}}]}}\n"
+    );
+    assert_eq!(stdout_of(&out), expected);
+}
+
+#[test]
+fn per_file_args_lint_only_the_named_files() {
+    let ws = TempWs::new("perfile");
+    ws.write("crates/demo/src/bad.rs", "use std::collections::HashMap;\n");
+    ws.write("crates/demo/src/good.rs", "pub fn ok() {}\n");
+    // Only the clean file: exit 0, one file scanned.
+    let out = run_in(&ws.root, &["crates/demo/src/good.rs"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stdout_of(&out), "ssdx-lint: clean (1 files scanned)\n");
+    // The offending file: exit 1 and a rustc-style rendering.
+    let out = run_in(&ws.root, &["crates/demo/src/bad.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout_of(&out);
+    assert!(text.starts_with("error[no-default-hasher]:"), "got: {text}");
+    assert!(text.contains("--> crates/demo/src/bad.rs:1:23"));
+    assert!(text.contains("ssdx-lint: 1 finding across 1 files scanned"));
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    let ws = TempWs::new("exit2");
+    let unknown = run_in(&ws.root, &["--no-such-flag"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown flag"));
+    let missing = run_in(&ws.root, &["crates/demo/src/nope.rs"]);
+    assert_eq!(missing.status.code(), Some(2));
+}
+
+#[test]
+fn update_api_pins_and_clears_api_drift() {
+    let ws = TempWs::new("updapi");
+    // `src/` is the root facade's API-tracked tree, so this synthetic
+    // surface exercises the full drift cycle.
+    ws.write(
+        "src/lib.rs",
+        "//! demo\npub fn surface() -> u32 {\n    7\n}\n",
+    );
+    let before = run_in(&ws.root, &["--workspace"]);
+    assert_eq!(before.status.code(), Some(1), "missing snapshot must fail");
+    assert!(stdout_of(&before).contains("error[api-drift]"));
+
+    let update = run_in(&ws.root, &["--update-api"]);
+    assert_eq!(update.status.code(), Some(0));
+    assert_eq!(stdout_of(&update), "ssdexplorer.api: updated\n");
+    let snapshot = fs::read_to_string(ws.root.join("crates/lint/api/ssdexplorer.api"))
+        .expect("snapshot written");
+    assert!(snapshot.contains("fn surface() -> u32"));
+
+    let clean = run_in(&ws.root, &["--workspace"]);
+    assert_eq!(clean.status.code(), Some(0), "got: {}", stdout_of(&clean));
+
+    // Re-running the regeneration is a no-op.
+    let again = run_in(&ws.root, &["--update-api"]);
+    assert_eq!(stdout_of(&again), "ssdexplorer.api: unchanged\n");
+
+    // Drift: change the surface, the pinned snapshot now fails.
+    ws.write(
+        "src/lib.rs",
+        "//! demo\npub fn surface() -> u64 {\n    7\n}\n",
+    );
+    let drifted = run_in(&ws.root, &["--workspace"]);
+    assert_eq!(drifted.status.code(), Some(1));
+    let text = stdout_of(&drifted);
+    assert!(text.contains("error[api-drift]"), "got: {text}");
+    assert!(text.contains("+ fn surface() -> u64"), "got: {text}");
+    assert!(text.contains("- fn surface() -> u32"), "got: {text}");
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    // Against the real checkout: two full workspace passes (text and
+    // JSON) must produce identical bytes — the determinism contract the
+    // linter enforces, applied to itself.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for args in [&["--workspace"][..], &["--workspace", "--json"][..]] {
+        let a = run_in(&root, args);
+        let b = run_in(&root, args);
+        assert_eq!(a.status.code(), b.status.code());
+        assert_eq!(a.stdout, b.stdout, "run-to-run drift with {args:?}");
+    }
+}

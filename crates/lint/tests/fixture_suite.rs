@@ -108,6 +108,17 @@ fn no_print_in_lib_fires() {
 }
 
 #[test]
+fn no_panic_in_hot_path_fires() {
+    assert!(!run_fixture("no_panic_in_hot_path.rs").is_empty());
+}
+
+#[test]
+fn panic_scope_stops_at_hot_path_modules() {
+    // Same panic forms, a non-hot-path file: the scope table says clean.
+    assert!(run_fixture("panic_allowed_outside_hot_path.rs").is_empty());
+}
+
+#[test]
 fn print_scope_stops_at_library_sources() {
     // Same macros, examples/ path: the scope table says clean.
     assert!(run_fixture("print_allowed_outside_lib.rs").is_empty());

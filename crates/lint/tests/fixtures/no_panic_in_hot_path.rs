@@ -1,0 +1,42 @@
+//@ path: crates/core/src/session.rs
+//! Fixture: every denied panic form fires in a hot-path module, the
+//! audited allow suppresses, and `#[cfg(test)]` code is exempt.
+
+fn step(queue: &mut Vec<u32>, map: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    let head = queue.pop().unwrap(); //~ ERROR no-panic-in-hot-path
+    let slot = map.get(&head).expect("slot must exist"); //~ ERROR no-panic-in-hot-path
+    if *slot > 100 {
+        panic!("slot overflow"); //~ ERROR no-panic-in-hot-path
+    }
+    match head {
+        0 => unreachable!("queue never holds zero"), //~ ERROR no-panic-in-hot-path
+        1 => todo!(), //~ ERROR no-panic-in-hot-path
+        _ => *slot,
+    }
+}
+
+fn guarded(slots: &mut [Option<u32>], key: usize) -> u32 {
+    // ssdx-lint::allow(no-panic-in-hot-path): heap keys always point at
+    // occupied slots; a miss means the arena is corrupt and stopping is
+    // the only sound response.
+    slots[key].take().expect("occupied slot")
+}
+
+// Method-position matches count too: `unwrap_or` and `expected` must NOT
+// fire (word boundaries), and prose in strings stays silent.
+fn boundaries(v: Option<u32>) -> u32 {
+    let _prose = "call unwrap() and expect() as data";
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code asserts freely: the contract binds production code only.
+    #[test]
+    fn asserts_with_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        assert_eq!(r.expect("ok"), 4);
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/core/src/report.rs
+//! Fixture: the same panic forms outside the designated hot-path modules
+//! produce no findings — the scope table is file-precise.
+
+fn render(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn must(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+fn never() -> ! {
+    unreachable!("cold path may assert")
+}

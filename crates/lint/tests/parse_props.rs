@@ -1,0 +1,201 @@
+//! Properties of the item/`use` parser: it is total (never panics on
+//! arbitrary token soup), and every seeded `pub` item injected into
+//! generated source is recovered in the extracted surface — while decoys
+//! (private items, `#[cfg(test)]` code, comments, strings) are not.
+
+use proptest::prelude::*;
+
+use ssdx_lint::parse_file;
+
+/// Token fragments weighted toward parser-significant syntax: item
+/// keywords, visibility, attributes, delimiters at every nesting level,
+/// generics/arrows, literals, comments, and multi-byte fillers.
+const TOKEN_PALETTE: &[&str] = &[
+    "pub",
+    "fn",
+    "struct",
+    "enum",
+    "trait",
+    "impl",
+    "for",
+    "use",
+    "mod",
+    "const",
+    "static",
+    "type",
+    "unsafe",
+    "extern",
+    "crate",
+    "macro_rules",
+    "as",
+    "self",
+    "where",
+    "#",
+    "!",
+    "[",
+    "]",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "->",
+    "::",
+    ":",
+    ";",
+    ",",
+    "=",
+    "*",
+    "&",
+    "'a",
+    "x",
+    "Seed",
+    "ssdx_sim",
+    "0",
+    "\"lit\"",
+    "'c'",
+    "// line\n",
+    "/* block */",
+    "/// doc\n",
+    "\n",
+    "é",
+    "→",
+];
+
+fn arbitrary_tokens() -> BoxedStrategy<String> {
+    prop::collection::vec(any::<u16>(), 0..160)
+        .prop_map(|picks| {
+            let mut out = String::new();
+            for (k, pick) in picks.iter().enumerate() {
+                out.push_str(TOKEN_PALETTE[*pick as usize % TOKEN_PALETTE.len()]);
+                // Vary adjacency so tokens sometimes fuse (`pubfn`) and
+                // sometimes separate — both must stay total.
+                if k % 3 != 0 {
+                    out.push(' ');
+                }
+            }
+            out
+        })
+        .boxed()
+}
+
+/// One seeded public item plus the decoy that rides along with it.
+#[derive(Debug, Clone, Copy)]
+struct SeedSpec {
+    kind: u8,
+    decoy: u8,
+}
+
+fn seeds() -> BoxedStrategy<Vec<SeedSpec>> {
+    prop::collection::vec(
+        (0u8..6, 0u8..4).prop_map(|(kind, decoy)| SeedSpec { kind, decoy }),
+        1..10,
+    )
+    .boxed()
+}
+
+/// Render the seeded item; its name is derived from the index so every
+/// seed in one case is unique.
+fn render_seed(i: usize, kind: u8) -> (String, String) {
+    match kind {
+        0 => (
+            format!("seed_fn_{i}"),
+            format!("pub fn seed_fn_{i}(x: u64) -> u64 {{ x + 1 }}\n"),
+        ),
+        1 => (
+            format!("SeedStruct{i}"),
+            format!("pub struct SeedStruct{i} {{\n    pub field: u32,\n    hidden: u8,\n}}\n"),
+        ),
+        2 => (
+            format!("SEED_CONST_{i}"),
+            format!("pub const SEED_CONST_{i}: u32 = {i};\n"),
+        ),
+        3 => (
+            format!("SeedEnum{i}"),
+            format!("pub enum SeedEnum{i} {{ A, B(u32) }}\n"),
+        ),
+        4 => (
+            format!("SeedTrait{i}"),
+            format!("pub trait SeedTrait{i} {{\n    fn probe(&self) -> bool;\n}}\n"),
+        ),
+        _ => (
+            format!("SeedAlias{i}"),
+            format!("pub type SeedAlias{i} = Vec<u8>;\n"),
+        ),
+    }
+}
+
+/// Render a decoy that must NOT appear in the extracted surface.
+fn render_decoy(i: usize, decoy: u8) -> (String, String) {
+    let name = format!("ghost_{i}");
+    let text = match decoy {
+        0 => format!("fn {name}() {{ let _ = {i}; }}\n"),
+        1 => format!("#[cfg(test)]\nmod ghosts_{i} {{\n    pub fn {name}() {{}}\n}}\n"),
+        2 => format!("// pub fn {name}() is only prose\n"),
+        _ => format!("const GHOST_STR_{i}: &str = \"pub fn {name}()\";\n"),
+    };
+    (name, text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// The parser is total: arbitrary (usually invalid) token soup never
+    /// panics, and every extracted offset lands inside the input.
+    #[test]
+    fn parser_is_total_on_arbitrary_input(src in arbitrary_tokens()) {
+        let parsed = parse_file(&src);
+        for item in &parsed.pub_items {
+            prop_assert!(item.offset <= src.len());
+        }
+        for (s, e) in &parsed.test_spans {
+            prop_assert!(s <= e && *e <= src.len());
+        }
+        for u in &parsed.uses {
+            prop_assert!(u.offset <= src.len());
+            prop_assert!(!u.path.is_empty());
+        }
+    }
+
+    /// Recovery: every seeded pub item is present in the extracted
+    /// surface (by name, word-exact), and no decoy leaks in.
+    #[test]
+    fn seeded_pub_items_are_recovered(specs in seeds()) {
+        let mut src = String::from("//! seeded module\n");
+        let mut expected = Vec::new();
+        let mut ghosts = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let (ghost, decoy_text) = render_decoy(i, spec.decoy);
+            src.push_str(&decoy_text);
+            let (name, item_text) = render_seed(i, spec.kind);
+            src.push_str(&item_text);
+            expected.push(name);
+            ghosts.push(ghost);
+        }
+        let parsed = parse_file(&src);
+        let surface = parsed
+            .pub_items
+            .iter()
+            .map(|it| it.entry.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        for name in &expected {
+            prop_assert!(
+                surface.contains(name.as_str()),
+                "seeded `{}` missing from surface:\n{}\n--- source ---\n{}",
+                name,
+                surface,
+                src
+            );
+        }
+        for ghost in &ghosts {
+            prop_assert!(
+                !surface.contains(ghost.as_str()),
+                "decoy `{}` leaked into surface:\n{}",
+                ghost,
+                surface
+            );
+        }
+    }
+}

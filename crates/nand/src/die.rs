@@ -159,6 +159,9 @@ impl NandDie {
     /// [`try_execute`](Self::try_execute) for a fallible variant.
     pub fn execute(&mut self, at: SimTime, op: NandOp, addr: PageAddr) -> OpOutcome {
         self.try_execute(at, op, addr)
+            // ssdx-lint::allow(no-panic-in-hot-path): the documented
+            // infallible twin of try_execute (see `# Panics` above);
+            // callers who cannot prove their range use try_execute.
             .expect("page address out of range for this die geometry")
     }
 

@@ -25,7 +25,6 @@
 //! assert!(outcome.busy_time >= SimTime::from_us(850));
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod die;

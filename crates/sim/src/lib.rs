@@ -29,7 +29,6 @@
 //! assert_eq!(grant_b.start, SimTime::from_ns(100));
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod arbiter;

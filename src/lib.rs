@@ -25,7 +25,6 @@
 //! # Ok::<(), ssdexplorer::core::ConfigError>(())
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 /// Discrete-event simulation kernel (time base, calendar, resources, stats).
