@@ -1,0 +1,107 @@
+//! Pins the allocation behaviour of snapshot capture: serialising a
+//! steady-state platform+session image ([`SimSession::capture`]) performs
+//! a small, **bounded** number of heap allocations — the encoder's
+//! amortised buffer growth plus two heap-canonicalisation scratch vectors
+//! — independent of how many commands the session has executed. Capture is
+//! what the warm-start sweep path runs once per group; it must never
+//! become an allocation storm that scales with simulated history.
+//!
+//! This file is its own test binary so it can install a counting global
+//! allocator without affecting any other suite (same pattern as
+//! `step_allocations.rs`; the counter is per-thread for the same reason).
+
+use ssdx_core::{FtlMode, Ssd, SsdConfig};
+use ssdx_hostif::{AccessPattern, Workload};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+fn workload(commands: u64) -> Workload {
+    Workload::builder(AccessPattern::RandomWrite)
+        .command_count(commands)
+        .footprint_bytes(4 << 20)
+        .build()
+}
+
+fn config(ftl: FtlMode) -> SsdConfig {
+    SsdConfig::builder("snapcap")
+        .topology(4, 2, 2)
+        .dram_buffers(4)
+        .dram_buffer_capacity(256 * 1024)
+        .ftl_mode(ftl)
+        .build()
+        .unwrap()
+}
+
+/// Runs `commands` commands to steady state and returns how many heap
+/// allocations one `capture()` of the resulting image performs.
+fn allocations_during_capture(ftl: FtlMode, commands: u64) -> u64 {
+    let mut ssd = Ssd::new(config(ftl));
+    let w = workload(commands);
+    let mut session = ssd.session(&w);
+    while session.step().is_some() {}
+    let before = allocations();
+    let image = session.capture();
+    let after = allocations();
+    assert!(!image.to_bytes().is_empty());
+    after - before
+}
+
+/// Capture allocates a bounded handful of times — encoder doublings and
+/// the two sort-scratch vectors — in both FTL modes, with a generous
+/// ceiling that still catches any per-element or per-command allocation
+/// creeping into the encode path.
+#[test]
+fn capturing_a_steady_state_image_is_allocation_bounded() {
+    for ftl in [FtlMode::WafAbstraction, FtlMode::PageMapped] {
+        let allocs = allocations_during_capture(ftl, 512);
+        assert!(
+            allocs <= 64,
+            "capture performed {allocs} allocations in {ftl:?} mode — \
+             the encode path must stay allocation-bounded"
+        );
+    }
+}
+
+/// The bound is genuinely independent of simulated history: capturing
+/// after 8× the commands must not allocate more than a small constant
+/// above the short run (encoder doublings may differ by a few steps when
+/// state grows, e.g. the page-mapped mapping table's live entries).
+#[test]
+fn capture_allocations_do_not_scale_with_commands_executed() {
+    let short = allocations_during_capture(FtlMode::WafAbstraction, 64);
+    let long = allocations_during_capture(FtlMode::WafAbstraction, 512);
+    assert!(
+        long <= short + 8,
+        "capture allocations scaled with run length: {short} after 64 \
+         commands vs {long} after 512"
+    );
+}

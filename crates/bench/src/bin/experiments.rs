@@ -10,7 +10,8 @@
 //! read-modify-write) on a steady-state platform, reporting p50/p95/p99/
 //! p99.9 per command class with the first eighth of each stream trimmed as
 //! warmup. The output is fully deterministic (`--json` emits the
-//! machine-readable form).
+//! machine-readable form, `--warm-start` forks each run from a per-workload
+//! warmup snapshot and prints byte-identical results).
 //!
 //! The `speed` subcommand is the simulation-speed measurement suite:
 //!
@@ -292,15 +293,19 @@ fn parallel_speedup(out: &mut String) {
 const TAIL_COMMANDS: u64 = 8_192;
 
 /// Builds the tail-latency study on the canonical steady-state platform:
-/// one eighth of each stream is trimmed as warmup.
-fn tail_study() -> ssdx_core::TailStudy {
+/// one eighth of each stream is trimmed as warmup. With `warm` the warmup
+/// prefix is simulated once per workload and every run forks from the
+/// captured snapshot — byte-identical output by the fork-equivalence
+/// contract, which `tails --warm-start` exists to demonstrate.
+fn tail_study(warm: bool) -> ssdx_core::TailStudy {
     let base = steady_state(table2_configs().remove(5));
-    metrics::tail_latency_study(
-        &base,
-        TAIL_COMMANDS,
-        SteadyStateCutoff::Commands(TAIL_COMMANDS / 8),
-    )
-    .expect("the table II configuration validates")
+    let warmup = SteadyStateCutoff::Commands(TAIL_COMMANDS / 8);
+    let study = if warm {
+        metrics::tail_latency_study_warm(&base, TAIL_COMMANDS, warmup)
+    } else {
+        metrics::tail_latency_study(&base, TAIL_COMMANDS, warmup)
+    };
+    study.expect("the table II configuration validates")
 }
 
 fn tail_latency(out: &mut String) {
@@ -308,7 +313,7 @@ fn tail_latency(out: &mut String) {
         out,
         "Tail latency — generative workloads, steady-state percentiles per class",
     );
-    let study = tail_study();
+    let study = tail_study(false);
     let _ = writeln!(
         out,
         "{} commands per workload, first {} trimmed as warmup\n",
@@ -320,9 +325,11 @@ fn tail_latency(out: &mut String) {
 }
 
 /// The tails suite: print the percentile table, or emit JSON with
-/// `--json`. Deterministic — two runs print identical bytes.
+/// `--json`. `--warm-start` forks every run from a per-workload warmup
+/// snapshot instead of replaying the warmup; the output is byte-identical
+/// either way. Deterministic — two runs print identical bytes.
 fn tails_suite(args: &[String]) -> i32 {
-    let study = tail_study();
+    let study = tail_study(args.iter().any(|a| a == "--warm-start"));
     if args.iter().any(|a| a == "--json") {
         print!("{}", study.to_json());
     } else {

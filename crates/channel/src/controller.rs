@@ -3,6 +3,7 @@
 use crate::config::{ChannelConfig, GangMode};
 use serde::{Deserialize, Serialize};
 use ssdx_nand::{NandConfig, NandDie, NandOp, PageAddr};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::{Resource, SimTime};
 use std::fmt;
 
@@ -364,6 +365,55 @@ impl ChannelController {
             }
         }
         self.stats = ChannelStats::default();
+    }
+
+    /// Encodes the channel's mutable state, in stable field order: the
+    /// channel bus, each per-way data bus, the PP-DMA engine, each die in
+    /// way-major order (all counts construction-fixed, no length prefixes),
+    /// then the statistics (programs, reads, erases, bus bytes). The
+    /// identifier, configuration, cached command times and the transfer-time
+    /// memo (a value-identical cache, re-primed lazily) are not snapshot
+    /// state.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        self.channel_bus.encode_state(enc);
+        for bus in &self.way_buses {
+            bus.encode_state(enc);
+        }
+        self.ppdma.encode_state(enc);
+        for way in &self.dies {
+            for die in way {
+                die.encode_state(enc);
+            }
+        }
+        enc.put_u64(self.stats.programs);
+        enc.put_u64(self.stats.reads);
+        enc.put_u64(self.stats.erases);
+        enc.put_u64(self.stats.bus_bytes);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a controller constructed with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.channel_bus.decode_state(dec)?;
+        for bus in &mut self.way_buses {
+            bus.decode_state(dec)?;
+        }
+        self.ppdma.decode_state(dec)?;
+        for way in &mut self.dies {
+            for die in way {
+                die.decode_state(dec)?;
+            }
+        }
+        self.stats.programs = dec.get_u64()?;
+        self.stats.reads = dec.get_u64()?;
+        self.stats.erases = dec.get_u64()?;
+        self.stats.bus_bytes = dec.get_u64()?;
+        self.transfer_memo = (u32::MAX, (SimTime::ZERO, SimTime::ZERO));
+        Ok(())
     }
 }
 

@@ -46,10 +46,13 @@
 use crate::config::{CachePolicy, ConfigError, HostInterfaceConfig, SsdConfig};
 use crate::metrics::SteadyStateCutoff;
 use crate::report::PerfReport;
+use crate::session::SimSession;
+use crate::snapshot::Snapshot;
 use crate::ssd::Ssd;
 use serde::{Deserialize, Serialize};
 use ssdx_ecc::EccScheme;
 use ssdx_hostif::{AccessPattern, CommandSource, Workload};
+use ssdx_sim::codec::DecodeError;
 use std::fmt;
 use std::sync::Arc;
 
@@ -65,6 +68,17 @@ pub enum SweepError {
         /// The underlying configuration error.
         error: ConfigError,
     },
+    /// A warm-start image could not be forked onto a swept point's
+    /// platform. This only arises when a [`SweepJob`] batch is mutated
+    /// after [`Explorer::warmed_jobs`] attached the images — expansion
+    /// itself only shares an image within a group of identical
+    /// configurations.
+    WarmStart {
+        /// `axis=value` coordinates of the offending point.
+        point: String,
+        /// The underlying snapshot decode error.
+        error: DecodeError,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -74,6 +88,12 @@ impl fmt::Display for SweepError {
             SweepError::InvalidPoint { point, error } => {
                 write!(f, "sweep point ({point}) is invalid: {error}")
             }
+            SweepError::WarmStart { point, error } => {
+                write!(
+                    f,
+                    "sweep point ({point}) could not fork its warm-start image: {error}"
+                )
+            }
         }
     }
 }
@@ -82,6 +102,7 @@ impl std::error::Error for SweepError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SweepError::InvalidPoint { error, .. } => Some(error),
+            SweepError::WarmStart { error, .. } => Some(error),
             SweepError::EmptyAxis(_) => None,
         }
     }
@@ -92,6 +113,19 @@ impl std::error::Error for SweepError {
 /// [`SweepJob`]s can be fanned out across threads by the
 /// [`ParallelExecutor`](crate::ParallelExecutor).
 type PrepareHook = Arc<dyn Fn(&mut Ssd) + Send + Sync>;
+
+/// `true` when two hook chains are the very same `Arc`s in the same order.
+/// Closures have no `Eq`, so warm-start grouping uses allocation identity —
+/// which cartesian expansion guarantees for points sharing an axis entry.
+/// Compared as thin data pointers: vtable addresses are not stable enough
+/// for identity (the same closure can have several vtables across
+/// codegen units).
+fn same_hooks(a: &[PrepareHook], b: &[PrepareHook]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| std::ptr::eq(Arc::as_ptr(x).cast::<u8>(), Arc::as_ptr(y).cast::<u8>()))
+}
 
 /// One labelled point of an [`Axis`]: a configuration mutation plus an
 /// optional platform-preparation hook applied after construction.
@@ -240,6 +274,7 @@ pub struct SweepJob {
     /// legacy report fields).
     pub steady_state: SteadyStateCutoff,
     prepare: Vec<PrepareHook>,
+    warm_image: Option<Arc<Snapshot>>,
 }
 
 impl SweepJob {
@@ -256,13 +291,24 @@ impl SweepJob {
         }
     }
 
+    /// The shared warm-start image attached by [`Explorer::warmed_jobs`],
+    /// if any. Jobs of the same warm-start group hold clones of one `Arc`,
+    /// which is how the warm-start suite proves warmup ran once per group.
+    pub fn warm_image(&self) -> Option<&Arc<Snapshot>> {
+        self.warm_image.as_ref()
+    }
+
     /// Builds the platform, applies the preparation hooks and runs the
-    /// source to completion.
+    /// source to completion. When a warm-start image is attached
+    /// ([`Explorer::warmed_jobs`]), the session is forked from it instead
+    /// of replaying the warmup — byte-identical by the fork-equivalence
+    /// contract on [`SimSession::fork`].
     ///
     /// # Errors
     ///
     /// Returns [`SweepError::InvalidPoint`] if the configuration does not
-    /// validate.
+    /// validate, and [`SweepError::WarmStart`] if an attached warm-start
+    /// image does not decode onto this job's platform.
     pub fn execute<S: CommandSource + ?Sized>(&self, source: &S) -> Result<SweepPoint, SweepError> {
         let mut ssd =
             Ssd::try_new(self.config.clone()).map_err(|error| SweepError::InvalidPoint {
@@ -272,7 +318,15 @@ impl SweepJob {
         for hook in &self.prepare {
             hook(&mut ssd);
         }
-        let mut session = ssd.session(source);
+        let mut session = match &self.warm_image {
+            Some(image) => SimSession::fork(&mut ssd, source, image).map_err(|error| {
+                SweepError::WarmStart {
+                    point: self.point_label(),
+                    error,
+                }
+            })?,
+            None => ssd.session(source),
+        };
         session.steady_state(self.steady_state);
         let report = session.finish();
         Ok(SweepPoint {
@@ -288,6 +342,7 @@ impl fmt::Debug for SweepJob {
             .field("point", &self.point_label())
             .field("config", &self.config.name)
             .field("prepare_hooks", &self.prepare.len())
+            .field("warm", &self.warm_image.is_some())
             .finish()
     }
 }
@@ -437,6 +492,7 @@ pub struct Explorer {
     base: SsdConfig,
     axes: Vec<Axis>,
     steady_state: SteadyStateCutoff,
+    warm_start: SteadyStateCutoff,
 }
 
 impl Explorer {
@@ -447,6 +503,7 @@ impl Explorer {
             base,
             axes: Vec::new(),
             steady_state: SteadyStateCutoff::None,
+            warm_start: SteadyStateCutoff::None,
         }
     }
 
@@ -464,6 +521,26 @@ impl Explorer {
     /// equivalence capture looks.
     pub fn steady_state(mut self, cutoff: SteadyStateCutoff) -> Self {
         self.steady_state = cutoff;
+        self
+    }
+
+    /// Enables warm-start execution: before the sweep runs, the warmup
+    /// prefix defined by `cutoff` is simulated **once per group of
+    /// identical points** (same configuration, same preparation hooks) and
+    /// captured as a [`Snapshot`]; every job in the group then
+    /// [forks](SimSession::fork) from that image instead of replaying the
+    /// warmup. By the fork-equivalence contract the sweep results stay
+    /// byte-identical to a cold run — only the wall-clock cost of the
+    /// warmup drops from per-point to per-group.
+    ///
+    /// Points with distinct configurations (the usual case for a swept
+    /// axis) each form their own group, so warm-start never mixes state
+    /// across configurations; it pays off when a sweep revisits one
+    /// configuration many times (replica axes, per-workload tail studies
+    /// re-running a fixed platform). [`SteadyStateCutoff::None`] (the
+    /// default) disables warm-start entirely.
+    pub fn warm_start(mut self, cutoff: SteadyStateCutoff) -> Self {
+        self.warm_start = cutoff;
         self
     }
 
@@ -498,6 +575,7 @@ impl Explorer {
             config: self.base.clone(),
             steady_state: self.steady_state,
             prepare: Vec::new(),
+            warm_image: None,
         }];
         for axis in &self.axes {
             if axis.points.is_empty() {
@@ -522,6 +600,7 @@ impl Explorer {
                         config,
                         steady_state: self.steady_state,
                         prepare,
+                        warm_image: None,
                     });
                 }
             }
@@ -544,14 +623,89 @@ impl Explorer {
         self.axes.iter().map(|a| a.name.clone()).collect()
     }
 
+    /// Expands the sweep like [`jobs`](Self::jobs), then — if
+    /// [`warm_start`](Self::warm_start) is set — simulates the warmup
+    /// prefix once per group of identical points (same configuration,
+    /// same preparation hooks in the same order) against `source`,
+    /// captures the steady-state image, and attaches it to every job in
+    /// the group. [`SweepJob::execute`] then forks each run from the image
+    /// instead of replaying the warmup.
+    ///
+    /// With warm-start disabled this is exactly [`jobs`](Self::jobs); both
+    /// [`run`](Self::run) and the
+    /// [`ParallelExecutor`](crate::ParallelExecutor) expand through here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the expansion errors of [`jobs`](Self::jobs); a group
+    /// representative whose platform fails to build reports the same
+    /// [`SweepError::InvalidPoint`] a cold run of that point would.
+    pub fn warmed_jobs<S: CommandSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<Vec<SweepJob>, SweepError> {
+        let mut jobs = self.jobs()?;
+        if self.warm_start == SteadyStateCutoff::None {
+            return Ok(jobs);
+        }
+        // Group jobs sharing a platform: equal configurations and the very
+        // same hook chain (Arc identity — hook closures have no `Eq`).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for index in 0..jobs.len() {
+            let job = &jobs[index];
+            match groups.iter_mut().find(|group| {
+                let rep = &jobs[group[0]];
+                rep.config == job.config && same_hooks(&rep.prepare, &job.prepare)
+            }) {
+                Some(group) => group.push(index),
+                None => groups.push(vec![index]),
+            }
+        }
+        for group in groups {
+            let rep = &jobs[group[0]];
+            let mut ssd =
+                Ssd::try_new(rep.config.clone()).map_err(|error| SweepError::InvalidPoint {
+                    point: rep.point_label(),
+                    error,
+                })?;
+            for hook in &rep.prepare {
+                hook(&mut ssd);
+            }
+            let mut session = ssd.session(source);
+            session.steady_state(rep.steady_state);
+            match self.warm_start {
+                SteadyStateCutoff::None => unreachable!("checked above"),
+                SteadyStateCutoff::Commands(count) => {
+                    for _ in 0..count {
+                        if session.step().is_none() {
+                            break;
+                        }
+                    }
+                }
+                SteadyStateCutoff::SimulatedTime(deadline) => {
+                    session.run_until(deadline);
+                }
+            }
+            let image = Arc::new(session.capture());
+            drop(session);
+            for &index in &group {
+                jobs[index].warm_image = Some(Arc::clone(&image));
+            }
+        }
+        Ok(jobs)
+    }
+
     /// Runs the source across every combination, returning one
-    /// [`SweepPoint`] per evaluated configuration.
+    /// [`SweepPoint`] per evaluated configuration. With
+    /// [`warm_start`](Self::warm_start) set, points are forked from
+    /// per-group steady-state images ([`warmed_jobs`](Self::warmed_jobs))
+    /// — the results are byte-identical either way.
     ///
     /// # Errors
     ///
     /// Propagates the expansion errors of [`jobs`](Self::jobs).
     pub fn run<S: CommandSource + ?Sized>(&self, source: &S) -> Result<Sweep, SweepError> {
-        let jobs = self.jobs()?;
+        let jobs = self.warmed_jobs(source)?;
         let mut points = Vec::with_capacity(jobs.len());
         for job in &jobs {
             points.push(job.execute(source)?);

@@ -12,6 +12,7 @@
 
 use crate::config::SsdConfig;
 use ssdx_nand::{NandGeometry, PageAddr};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 
 /// A physical target for one page operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -112,6 +113,31 @@ impl PageAllocator {
         for c in &mut self.cursors {
             *c = 0;
         }
+    }
+
+    /// Encodes the allocator's mutable state, in stable field order: the
+    /// next-die rotation counter, then the per-die write cursors
+    /// (construction-fixed count, no length prefix). The topology and
+    /// geometry are construction parameters, not snapshot state.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.next_die);
+        for &c in &self.cursors {
+            enc.put_u64(c);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// an allocator constructed for the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.next_die = dec.get_u64()?;
+        for c in &mut self.cursors {
+            *c = dec.get_u64()?;
+        }
+        Ok(())
     }
 }
 

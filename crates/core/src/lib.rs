@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod report;
 pub mod session;
+pub mod snapshot;
 pub mod speed;
 pub mod ssd;
 
@@ -72,12 +73,13 @@ pub use explorer::{
 pub use explorer::{sweep_host_interface, wearout_sweep};
 pub use layout::{PageAllocator, PageTarget};
 pub use metrics::{
-    tail_latency_study, ClassHistograms, CommandClass, LatencyHistogram, SteadyStateCutoff,
-    TailStudy, TailSummary,
+    tail_latency_study, tail_latency_study_warm, ClassHistograms, CommandClass, LatencyHistogram,
+    SteadyStateCutoff, TailStudy, TailSummary,
 };
 pub use parallel::ParallelExecutor;
 pub use report::{PerfReport, UtilizationBreakdown};
 pub use session::{CommandRecord, CompletionLog, Probe, SessionSnapshot, SimSession};
+pub use snapshot::{Snapshot, StateInventoryEntry, SNAPSHOT_VERSION, STATE_INVENTORY};
 pub use speed::{
     measure_fig6_baseline, measure_kcps, measure_kcps_sweep, measure_sweep_speedup,
     measure_sweep_speedups, ParallelSpeed, SpeedBaseline, SpeedPoint, SweepSpeedup,

@@ -29,6 +29,7 @@ use crate::config::SsdConfig;
 use crate::explorer::{Explorer, Sweep, SweepError};
 use serde::Serialize;
 use ssdx_hostif::{BurstyWorkload, HostOp, MixedSizeWorkload, RmwWorkload, ZipfianWorkload};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::SimTime;
 use std::fmt::Write as _;
 
@@ -241,6 +242,59 @@ impl LatencyHistogram {
         assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
         self.quantile(p / 100.0)
     }
+
+    /// Encodes the histogram, in stable field order: count, nanosecond sum,
+    /// min, max, then the bucket array encoded sparsely as the number of
+    /// non-zero buckets followed by ascending `(index, count)` pairs — a
+    /// steady-state latency distribution touches a few dozen of the 1 920
+    /// buckets, so the dense array would be almost all zeros.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.count);
+        enc.put_u128(self.sum_ns);
+        enc.put_u64(self.min_ns);
+        enc.put_u64(self.max_ns);
+        let nonzero = self.buckets.iter().filter(|&&b| b != 0).count();
+        enc.put_len(nonzero);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b != 0 {
+                enc.put_u32(i as u32);
+                enc.put_u64(b);
+            }
+        }
+    }
+
+    /// Restores a histogram captured by
+    /// [`encode_state`](Self::encode_state), replacing `self` entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input, including
+    /// bucket indices that are out of range, out of order, or duplicated.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        let mut h = LatencyHistogram::new();
+        h.count = dec.get_u64()?;
+        h.sum_ns = dec.get_u128()?;
+        h.min_ns = dec.get_u64()?;
+        h.max_ns = dec.get_u64()?;
+        let nonzero = dec.get_len()?;
+        if nonzero > BUCKETS {
+            return Err(dec.invalid("more non-zero buckets than buckets"));
+        }
+        let mut prev: Option<u32> = None;
+        for _ in 0..nonzero {
+            let i = dec.get_u32()?;
+            if i as usize >= BUCKETS {
+                return Err(dec.invalid("histogram bucket index out of range"));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(dec.invalid("histogram bucket indices out of order"));
+            }
+            prev = Some(i);
+            h.buckets[i as usize] = dec.get_u64()?;
+        }
+        *self = h;
+        Ok(())
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -388,6 +442,25 @@ impl ClassHistograms {
     /// One [`TailSummary`] per class, in [`CommandClass::ALL`] order.
     pub fn summaries(&self) -> [TailSummary; 3] {
         CommandClass::ALL.map(|class| TailSummary::from_histogram(class, self.class(class)))
+    }
+
+    /// Encodes every class histogram in [`CommandClass::ALL`] order.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        for h in &self.classes {
+            h.encode_state(enc);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        for h in &mut self.classes {
+            h.decode_state(dec)?;
+        }
+        Ok(())
     }
 }
 
@@ -644,6 +717,34 @@ pub fn tail_latency_study(
     commands_per_workload: u64,
     warmup: SteadyStateCutoff,
 ) -> Result<TailStudy, SweepError> {
+    tail_study_impl(base, commands_per_workload, warmup, SteadyStateCutoff::None)
+}
+
+/// [`tail_latency_study`] with warm-start execution: each workload's
+/// warmup prefix (the `warmup` cutoff) is simulated once, captured as a
+/// [`Snapshot`](crate::Snapshot), and every run of that workload's
+/// platform forks from the image ([`Explorer::warm_start`]). The study is
+/// **byte-identical** to the cold [`tail_latency_study`] — same table,
+/// same JSON — which `experiments -- tails --warm-start` and the
+/// warm-start equivalence suite both assert.
+///
+/// # Errors
+///
+/// Returns [`SweepError::InvalidPoint`] if `base` does not validate.
+pub fn tail_latency_study_warm(
+    base: &SsdConfig,
+    commands_per_workload: u64,
+    warmup: SteadyStateCutoff,
+) -> Result<TailStudy, SweepError> {
+    tail_study_impl(base, commands_per_workload, warmup, warmup)
+}
+
+fn tail_study_impl(
+    base: &SsdConfig,
+    commands_per_workload: u64,
+    warmup: SteadyStateCutoff,
+    warm_start: SteadyStateCutoff,
+) -> Result<TailStudy, SweepError> {
     let footprint = 256 << 20;
     let zipf = ZipfianWorkload::new(0.99, base.seed)
         .command_count(commands_per_workload)
@@ -662,7 +763,9 @@ pub fn tail_latency_study(
         .updates(commands_per_workload / 2)
         .footprint_bytes(footprint);
 
-    let explorer = Explorer::new(base.clone()).steady_state(warmup);
+    let explorer = Explorer::new(base.clone())
+        .steady_state(warmup)
+        .warm_start(warm_start);
     let sweep = explorer.run_workloads(&[&zipf, &bursty, &mixed, &rmw])?;
     Ok(TailStudy { sweep })
 }

@@ -114,12 +114,14 @@ impl ParallelExecutor {
     ///
     /// Propagates the expansion errors of [`Explorer::jobs`] and the
     /// [`SweepError::InvalidPoint`] of the earliest failing job (matching
-    /// the error sequential execution reports).
+    /// the error sequential execution reports). Warm-start images
+    /// ([`Explorer::warm_start`]) are captured sequentially during
+    /// expansion, before the fan-out.
     pub fn run<S>(&self, explorer: &Explorer, source: &S) -> Result<Sweep, SweepError>
     where
         S: CommandSource + Sync + ?Sized,
     {
-        let jobs = explorer.jobs()?;
+        let jobs = explorer.warmed_jobs(source)?;
         let points = self.execute_jobs(&jobs, source)?;
         Ok(Sweep {
             axes: explorer.axis_names(),

@@ -34,13 +34,15 @@
 use crate::config::{CachePolicy, FtlMode};
 use crate::metrics::{ClassHistograms, SteadyStateCutoff};
 use crate::report::{PerfReport, UtilizationBreakdown};
+use crate::snapshot::{self, Snapshot};
 use crate::ssd::Ssd;
 use serde::Serialize;
 use ssdx_compress::{CompressorModel, CompressorPlacement};
 use ssdx_dram::AccessKind;
 use ssdx_ftl::{PageMappedFtl, WorkloadMix};
-use ssdx_hostif::{HostCommand, HostOp};
+use ssdx_hostif::{CommandSource, HostCommand, HostOp};
 use ssdx_nand::NandOp;
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::stats::LatencyHistogram;
 use ssdx_sim::SimTime;
 use std::borrow::Cow;
@@ -399,6 +401,151 @@ impl<'a> SimSession<'a> {
             bytes: self.total_bytes,
             utilization: self.ssd.utilization_snapshot(horizon),
         }
+    }
+
+    /// Captures the full simulation state — the platform plus this
+    /// session's in-flight state — as a versioned [`Snapshot`].
+    ///
+    /// A later [`fork`](Self::fork) from the same configuration and
+    /// command source resumes exactly where this session stands: the
+    /// forked run's remaining steps, completion records and final report
+    /// are byte-identical to continuing this session
+    /// (`tests/snapshot_equivalence.rs` pins this).
+    ///
+    /// This is the serialization counterpart of the probe sample
+    /// [`snapshot`](Self::snapshot): `snapshot` summarises observable
+    /// progress, `capture` serialises resumable state. Attached probes and
+    /// the sampling cadence are runtime observers, not simulation state,
+    /// and are not captured.
+    pub fn capture(&self) -> Snapshot {
+        let mut enc = Encoder::new();
+        snapshot::encode_header(&mut enc, self.ssd.config());
+        self.ssd.encode_state(&mut enc);
+        enc.put_bool(true);
+        enc.put_u64(self.cursor as u64);
+        // Both heaps are serialised in sorted order so that equal states
+        // encode to equal bytes regardless of heap-internal layout.
+        let mut window: Vec<SimTime> = self.window.iter().map(|r| r.0).collect();
+        window.sort_unstable();
+        enc.put_len(window.len());
+        for t in window {
+            enc.put_time(t);
+        }
+        let mut in_flight: Vec<(SimTime, u64)> = self.in_flight.iter().map(|r| r.0).collect();
+        in_flight.sort_unstable();
+        enc.put_len(in_flight.len());
+        for (flushed_at, bytes) in in_flight {
+            enc.put_time(flushed_at);
+            enc.put_u64(bytes);
+        }
+        enc.put_f64(self.waf_carry);
+        self.latency.encode_state(&mut enc);
+        self.classes.encode_state(&mut enc);
+        match self.steady_state {
+            SteadyStateCutoff::None => enc.put_u8(0),
+            SteadyStateCutoff::Commands(n) => {
+                enc.put_u8(1);
+                enc.put_u64(n);
+            }
+            SteadyStateCutoff::SimulatedTime(t) => {
+                enc.put_u8(2);
+                enc.put_time(t);
+            }
+        }
+        enc.put_u64(self.total_bytes);
+        enc.put_time(self.last_completion);
+        match &self.ftl {
+            Some(f) => {
+                enc.put_bool(true);
+                f.encode_state(&mut enc);
+            }
+            None => enc.put_bool(false),
+        }
+        Snapshot::from_encoder(enc)
+    }
+
+    /// Opens a session on `ssd` over `source` and restores it to the state
+    /// `snapshot` was captured at, so stepping it continues the captured
+    /// run exactly.
+    ///
+    /// The platform must be built from the same configuration (topology
+    /// and seed are checked via the snapshot's platform signature) and
+    /// `source` must be the same command source the captured session was
+    /// running — the stream itself is re-derived from the source rather
+    /// than stored in the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the image is malformed or truncated,
+    /// was captured from a different topology or seed, lacks session state
+    /// (restore those with [`Ssd::restore`]), or disagrees with the
+    /// session's derived geometry (cursor past the stream end, FTL
+    /// presence mismatch). On error the platform may hold
+    /// partially-restored state; fork again or discard it.
+    pub fn fork<S: CommandSource + ?Sized>(
+        ssd: &'a mut Ssd,
+        source: &'a S,
+        snapshot: &Snapshot,
+    ) -> Result<SimSession<'a>, DecodeError> {
+        let mut session = ssd.session(source);
+        session.restore_from(snapshot)?;
+        Ok(session)
+    }
+
+    fn restore_from(&mut self, snap: &Snapshot) -> Result<(), DecodeError> {
+        let mut dec = Decoder::new(snap.to_bytes());
+        snapshot::decode_header(&mut dec, self.ssd.config())?;
+        self.ssd.decode_state(&mut dec)?;
+        if !dec.get_bool()? {
+            return Err(dec.invalid("snapshot has no session state; restore it with Ssd::restore"));
+        }
+        let cursor = dec.get_u64()?;
+        if cursor > self.commands.len() as u64 {
+            return Err(dec.invalid("session cursor past the command stream end"));
+        }
+        self.cursor = cursor as usize;
+        let window_len = dec.get_len()?;
+        self.window.clear();
+        let mut prev = SimTime::ZERO;
+        for _ in 0..window_len {
+            let t = dec.get_time()?;
+            if t < prev {
+                return Err(dec.invalid("protocol-window entries out of order"));
+            }
+            prev = t;
+            self.window.push(Reverse(t));
+        }
+        let in_flight_len = dec.get_len()?;
+        self.in_flight.clear();
+        self.in_flight_bytes = 0;
+        let mut prev = (SimTime::ZERO, 0u64);
+        for _ in 0..in_flight_len {
+            let entry = (dec.get_time()?, dec.get_u64()?);
+            if entry < prev {
+                return Err(dec.invalid("in-flight entries out of order"));
+            }
+            prev = entry;
+            self.in_flight_bytes += entry.1;
+            self.in_flight.push(Reverse(entry));
+        }
+        self.waf_carry = dec.get_f64()?;
+        self.latency.decode_state(&mut dec)?;
+        self.classes.decode_state(&mut dec)?;
+        self.steady_state = match dec.get_u8()? {
+            0 => SteadyStateCutoff::None,
+            1 => SteadyStateCutoff::Commands(dec.get_u64()?),
+            2 => SteadyStateCutoff::SimulatedTime(dec.get_time()?),
+            _ => return Err(dec.invalid("steady-state cutoff tag")),
+        };
+        self.total_bytes = dec.get_u64()?;
+        self.last_completion = dec.get_time()?;
+        let has_ftl = dec.get_bool()?;
+        match (&mut self.ftl, has_ftl) {
+            (Some(f), true) => f.decode_state(&mut dec)?,
+            (None, false) => {}
+            _ => return Err(dec.invalid("FTL presence mismatch")),
+        }
+        dec.expect_end()
     }
 
     /// Executes the next command through the full pipeline, returning its

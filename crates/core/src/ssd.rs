@@ -36,6 +36,7 @@ use ssdx_hostif::{
 };
 use ssdx_interconnect::{AhbBus, AhbConfig};
 use ssdx_nand::{NandOp, OnfiBus};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::stats::LatencyHistogram;
 use ssdx_sim::{Resource, SimTime};
 use std::cmp::Reverse;
@@ -223,6 +224,66 @@ impl Ssd {
             e.reset();
         }
         self.allocator.reset();
+    }
+
+    /// Encodes the platform's mutable state, in stable field order: the
+    /// host link, the artificial P/E age, each DRAM buffer, each CPU, the
+    /// AHB bus, each channel (with its dies), each ECC encoder and decoder
+    /// resource, then the page allocator (all counts construction-fixed, no
+    /// length prefixes). The configuration, host interface, and the ECC
+    /// latency memos (value-identical caches, re-primed lazily) are not
+    /// snapshot state.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        self.host_link.encode_state(enc);
+        enc.put_u64(self.aged_pe);
+        for d in &self.dram {
+            d.encode_state(enc);
+        }
+        for cpu in &self.cpus {
+            cpu.encode_state(enc);
+        }
+        self.ahb.encode_state(enc);
+        for c in &self.channels {
+            c.encode_state(enc);
+        }
+        for e in &self.ecc_encoders {
+            e.encode_state(enc);
+        }
+        for e in &self.ecc_decoders {
+            e.encode_state(enc);
+        }
+        self.allocator.encode_state(enc);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a platform constructed from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub(crate) fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.host_link.decode_state(dec)?;
+        self.aged_pe = dec.get_u64()?;
+        for d in &mut self.dram {
+            d.decode_state(dec)?;
+        }
+        for cpu in &mut self.cpus {
+            cpu.decode_state(dec)?;
+        }
+        self.ahb.decode_state(dec)?;
+        for c in &mut self.channels {
+            c.decode_state(dec)?;
+        }
+        for e in &mut self.ecc_encoders {
+            e.decode_state(dec)?;
+        }
+        for e in &mut self.ecc_decoders {
+            e.decode_state(dec)?;
+        }
+        self.allocator.decode_state(dec)?;
+        self.ecc_encode_memo = (u64::MAX, SimTime::ZERO);
+        self.ecc_decode_memo = (u64::MAX, 0, SimTime::ZERO);
+        Ok(())
     }
 
     /// Opens a steppable [`SimSession`] over any [`CommandSource`]

@@ -2,6 +2,7 @@
 
 use crate::firmware::{FirmwareProfile, FirmwareTask};
 use serde::{Deserialize, Serialize};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::{Frequency, Grant, Resource, SimTime};
 
 /// Aggregate CPU activity counters.
@@ -132,6 +133,31 @@ impl CpuModel {
     pub fn reset(&mut self) {
         self.core.reset();
         self.stats = CpuStats::default();
+    }
+
+    /// Encodes the CPU's mutable state, in stable field order: the core
+    /// resource, then the statistics (tasks, cycles, busy time). The
+    /// firmware profile, clock, and cached foreground durations are
+    /// construction parameters, not snapshot state.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        self.core.encode_state(enc);
+        enc.put_u64(self.stats.tasks);
+        enc.put_u64(self.stats.cycles);
+        enc.put_time(self.stats.busy);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a CPU constructed with the same profile and clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.core.decode_state(dec)?;
+        self.stats.tasks = dec.get_u64()?;
+        self.stats.cycles = dec.get_u64()?;
+        self.stats.busy = dec.get_time()?;
+        Ok(())
     }
 }
 

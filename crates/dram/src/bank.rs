@@ -2,6 +2,7 @@
 
 use crate::timing::DdrTimings;
 use serde::{Deserialize, Serialize};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::SimTime;
 
 /// State of one DRAM bank: either all rows are precharged, or one row is
@@ -104,6 +105,42 @@ impl Bank {
         self.state = BankState::ActiveRow(row);
         self.ready_at = ready;
         (ready, outcome)
+    }
+
+    /// Encodes the bank's mutable state, in stable field order: row-buffer
+    /// state (tag byte `0` = idle, `1` = active row followed by the row
+    /// number), ready instant, then the hit/miss/conflict counters.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        match self.state {
+            BankState::Idle => enc.put_u8(0),
+            BankState::ActiveRow(row) => {
+                enc.put_u8(1);
+                enc.put_u64(row);
+            }
+        }
+        enc.put_time(self.ready_at);
+        enc.put_u64(self.hits);
+        enc.put_u64(self.misses);
+        enc.put_u64(self.conflicts);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the input is truncated or the row-state
+    /// tag is unknown.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.state = match dec.get_u8()? {
+            0 => BankState::Idle,
+            1 => BankState::ActiveRow(dec.get_u64()?),
+            _ => return Err(dec.invalid("bank row-state tag")),
+        };
+        self.ready_at = dec.get_time()?;
+        self.hits = dec.get_u64()?;
+        self.misses = dec.get_u64()?;
+        self.conflicts = dec.get_u64()?;
+        Ok(())
     }
 
     /// Marks the bank busy until `until` (column access + data burst).

@@ -3,6 +3,7 @@
 use crate::bank::{Bank, RowOutcome};
 use crate::timing::DdrTimings;
 use serde::{Deserialize, Serialize};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::SimTime;
 
 /// Direction of a buffer access.
@@ -232,6 +233,42 @@ impl DramBuffer {
             return 0.0;
         }
         self.stats.bytes as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Encodes the buffer's mutable state, in stable field order: each bank
+    /// (construction-fixed count, no length prefix), data-bus free instant,
+    /// next refresh deadline, then the statistics (accesses, bytes, bus busy
+    /// time, refreshes). The identifier, timing set, and the cached derived
+    /// latencies are construction parameters, not snapshot state.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        for bank in &self.banks {
+            bank.encode_state(enc);
+        }
+        enc.put_time(self.data_bus_free);
+        enc.put_time(self.next_refresh);
+        enc.put_u64(self.stats.accesses);
+        enc.put_u64(self.stats.bytes);
+        enc.put_time(self.stats.bus_busy);
+        enc.put_u64(self.stats.refreshes);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a buffer constructed with the same timing set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        for bank in &mut self.banks {
+            bank.decode_state(dec)?;
+        }
+        self.data_bus_free = dec.get_time()?;
+        self.next_refresh = dec.get_time()?;
+        self.stats.accesses = dec.get_u64()?;
+        self.stats.bytes = dec.get_u64()?;
+        self.stats.bus_busy = dec.get_time()?;
+        self.stats.refreshes = dec.get_u64()?;
+        Ok(())
     }
 
     /// Resets dynamic state (row buffers, bus, statistics).

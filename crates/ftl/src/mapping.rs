@@ -36,6 +36,7 @@
 //! streams against that original structure as an oracle to prove it.
 
 use serde::{Deserialize, Serialize};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use std::fmt;
 
 /// Errors reported by the page-mapped FTL.
@@ -516,6 +517,127 @@ impl PageMappedFtl {
         }
         self.invalidate(lpn);
         self.stats.trims += 1;
+        Ok(())
+    }
+
+    /// Encodes the FTL's mutable state, in stable field order: the L2P table
+    /// (construction-fixed length; [`UNMAPPED`] as `0`, a mapped PPN as
+    /// `ppn + 1` — the sentinel would otherwise cost a 10-byte varint per
+    /// unmapped page), the per-physical-page LPN table ([`PAGE_FREE`] as
+    /// `0`, [`PAGE_INVALID`] as `1`, a live LPN as `lpn + 2`), per-block
+    /// write pointers, valid counts and erase counts, the host and GC open
+    /// blocks, the free pool in take/return order (its order is the
+    /// wear-leveling tie-breaker, so it is observable state), then the
+    /// statistics. The free-pool bitset mirror is rebuilt on decode, and the
+    /// relocation scratch buffer is transient, not state.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        for &ppn in &self.l2p {
+            enc.put_u64(if ppn == UNMAPPED { 0 } else { ppn + 1 });
+        }
+        for &lpn in &self.page_lpn {
+            enc.put_u64(match lpn {
+                PAGE_FREE => 0,
+                PAGE_INVALID => 1,
+                live => live + 2,
+            });
+        }
+        for &p in &self.write_ptr {
+            enc.put_u32(p);
+        }
+        for &v in &self.valid {
+            enc.put_u32(v);
+        }
+        for &e in &self.erase_count {
+            enc.put_u64(e);
+        }
+        enc.put_u32(self.open_block);
+        enc.put_u32(self.gc_open_block);
+        enc.put_len(self.free_blocks.len());
+        for &b in &self.free_blocks {
+            enc.put_u32(b);
+        }
+        enc.put_u64(self.stats.host_writes);
+        enc.put_u64(self.stats.nand_writes);
+        enc.put_u64(self.stats.gc_relocations);
+        enc.put_u64(self.stats.wear_level_moves);
+        enc.put_u64(self.stats.erases);
+        enc.put_u64(self.stats.trims);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// an FTL constructed with the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input, including
+    /// out-of-range physical/logical page numbers, write pointers past the
+    /// block end, open-block or free-pool entries that are not valid block
+    /// indices, or duplicated free-pool entries.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        let physical_pages = self.blocks as u64 * self.pages_per_block as u64;
+        for slot in &mut self.l2p {
+            let raw = dec.get_u64()?;
+            *slot = match raw.checked_sub(1) {
+                None => UNMAPPED,
+                Some(ppn) if ppn < physical_pages => ppn,
+                Some(_) => return Err(dec.invalid("L2P entry out of range")),
+            };
+        }
+        for slot in &mut self.page_lpn {
+            let raw = dec.get_u64()?;
+            *slot = match raw {
+                0 => PAGE_FREE,
+                1 => PAGE_INVALID,
+                shifted if shifted - 2 < self.logical_pages => shifted - 2,
+                _ => return Err(dec.invalid("physical-page LPN out of range")),
+            };
+        }
+        for slot in &mut self.write_ptr {
+            let p = dec.get_u32()?;
+            if p > self.pages_per_block {
+                return Err(dec.invalid("write pointer past block end"));
+            }
+            *slot = p;
+        }
+        for slot in &mut self.valid {
+            let v = dec.get_u32()?;
+            if v > self.pages_per_block {
+                return Err(dec.invalid("valid count past block size"));
+            }
+            *slot = v;
+        }
+        for slot in &mut self.erase_count {
+            *slot = dec.get_u64()?;
+        }
+        self.open_block = dec.get_u32()?;
+        self.gc_open_block = dec.get_u32()?;
+        if self.open_block >= self.blocks || self.gc_open_block >= self.blocks {
+            return Err(dec.invalid("open block out of range"));
+        }
+        let free = dec.get_len()?;
+        if free > self.blocks as usize {
+            return Err(dec.invalid("free pool larger than block count"));
+        }
+        self.free_blocks.clear();
+        self.free_mask = BlockBitset::new(self.blocks);
+        for _ in 0..free {
+            let b = dec.get_u32()?;
+            if b >= self.blocks {
+                return Err(dec.invalid("free-pool block out of range"));
+            }
+            if self.free_mask.contains(b) {
+                return Err(dec.invalid("duplicate free-pool block"));
+            }
+            self.free_mask.set(b);
+            self.free_blocks.push(b);
+        }
+        self.reloc_buf.clear();
+        self.stats.host_writes = dec.get_u64()?;
+        self.stats.nand_writes = dec.get_u64()?;
+        self.stats.gc_relocations = dec.get_u64()?;
+        self.stats.wear_level_moves = dec.get_u64()?;
+        self.stats.erases = dec.get_u64()?;
+        self.stats.trims = dec.get_u64()?;
         Ok(())
     }
 }

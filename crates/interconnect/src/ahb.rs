@@ -1,6 +1,7 @@
 //! Single-layer AMBA AHB bus.
 
 use serde::{Deserialize, Serialize};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::{Frequency, Resource, RoundRobinArbiter, SimTime};
 use std::fmt;
 
@@ -301,6 +302,46 @@ impl AhbBus {
         for s in &mut self.per_master {
             *s = BusStats::default();
         }
+    }
+
+    /// Encodes the bus's mutable state, in stable field order: the bus
+    /// resource, the round-robin arbiter, per-master statistics
+    /// (construction-fixed count, no length prefix; transfers, bytes,
+    /// ownership each), then the per-slave wait-state overrides. Wait states
+    /// are runtime-mutable via
+    /// [`set_slave_wait_states`](Self::set_slave_wait_states), so they are
+    /// snapshot state even though they usually hold the configured default.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        self.bus.encode_state(enc);
+        self.arbiter.encode_state(enc);
+        for s in &self.per_master {
+            enc.put_u64(s.transfers);
+            enc.put_u64(s.bytes);
+            enc.put_time(s.ownership);
+        }
+        for &w in &self.slave_wait_states {
+            enc.put_u32(w);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a bus constructed with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.bus.decode_state(dec)?;
+        self.arbiter.decode_state(dec)?;
+        for s in &mut self.per_master {
+            s.transfers = dec.get_u64()?;
+            s.bytes = dec.get_u64()?;
+            s.ownership = dec.get_time()?;
+        }
+        for w in &mut self.slave_wait_states {
+            *w = dec.get_u32()?;
+        }
+        Ok(())
     }
 }
 

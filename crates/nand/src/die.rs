@@ -4,6 +4,7 @@
 use crate::geometry::{GeometryError, NandConfig, PageAddr};
 use crate::timing::{NandOp, PageKind};
 use serde::{Deserialize, Serialize};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 use ssdx_sim::hash::FastHashMap;
 use ssdx_sim::rng::SimRng;
 use ssdx_sim::{Resource, SimTime};
@@ -263,6 +264,72 @@ impl NandDie {
         self.array.reset();
         self.stats = DieStats::default();
         self.rng = SimRng::new(self.rng_seed);
+    }
+
+    /// Encodes the die's mutable state, in stable field order: array
+    /// resource, `baseline_pe`, wear map (length prefix, then `(flat block,
+    /// wear)` entries sorted by block key), stats (`reads`, `programs`,
+    /// `erases`, `busy`) and the raw jitter-RNG state.
+    ///
+    /// The identifier, configuration and everything derived from them
+    /// (`rng_seed`, `jitter`, `t_read`) are construction parameters, not
+    /// snapshot state; the latency/RBER memos are value-identical caches and
+    /// are re-primed lazily after a restore.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        self.array.encode_state(enc);
+        enc.put_u64(self.baseline_pe);
+        enc.put_len(self.wear.len());
+        let mut blocks: Vec<u64> = self.wear.keys().copied().collect();
+        blocks.sort_unstable();
+        for key in blocks {
+            enc.put_u64(key);
+            self.wear[&key].encode_state(enc);
+        }
+        enc.put_u64(self.stats.reads);
+        enc.put_u64(self.stats.programs);
+        enc.put_u64(self.stats.erases);
+        enc.put_time(self.stats.busy);
+        enc.put_u64(self.rng.state());
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// this (already constructed, same-configuration) die. The memoised
+    /// latency/RBER slots are reset to their poisoned empty keys so the first
+    /// operation after a restore recomputes them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input, including
+    /// wear-map keys that are out of order or duplicated.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.array.decode_state(dec)?;
+        self.baseline_pe = dec.get_u64()?;
+        let entries = dec.get_len()?;
+        self.wear.clear();
+        self.wear.reserve(entries);
+        let mut prev: Option<u64> = None;
+        for _ in 0..entries {
+            let offset = dec.position();
+            let key = dec.get_u64()?;
+            if prev.is_some_and(|p| p >= key) {
+                return Err(DecodeError::Invalid {
+                    offset,
+                    what: "wear-map keys out of order",
+                });
+            }
+            prev = Some(key);
+            self.wear
+                .insert(key, crate::wear::BlockWear::decode_state(dec)?);
+        }
+        self.stats.reads = dec.get_u64()?;
+        self.stats.programs = dec.get_u64()?;
+        self.stats.erases = dec.get_u64()?;
+        self.stats.busy = dec.get_time()?;
+        self.rng = SimRng::from_state(dec.get_u64()?);
+        self.err_memo = (MEMO_EMPTY, 0.0);
+        self.prog_memo = [(MEMO_EMPTY, SimTime::ZERO); 2];
+        self.bers_memo = (MEMO_EMPTY, SimTime::ZERO);
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! paper's Fig. 5 quantifies at SSD level.
 
 use serde::{Deserialize, Serialize};
+use ssdx_sim::codec::{DecodeError, Decoder, Encoder};
 
 /// Parameters of the wear/RBER model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,6 +113,27 @@ impl BlockWear {
     /// wear-out experiment does).
     pub fn set_pe_cycles(&mut self, pe: u64) {
         self.pe_cycles = pe;
+    }
+
+    /// Encodes the wear record, in stable field order: `pe_cycles`,
+    /// `programs`, `reads`.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.pe_cycles);
+        enc.put_u64(self.programs);
+        enc.put_u64(self.reads);
+    }
+
+    /// Decodes a wear record captured by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockWear {
+            pe_cycles: dec.get_u64()?,
+            programs: dec.get_u64()?,
+            reads: dec.get_u64()?,
+        })
     }
 }
 

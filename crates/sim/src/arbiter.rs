@@ -1,5 +1,6 @@
 //! Round-robin arbitration, as used by the AMBA AHB bus arbiter.
 
+use crate::codec::{DecodeError, Decoder, Encoder};
 use serde::{Deserialize, Serialize};
 
 /// A round-robin arbiter over a fixed set of requesters.
@@ -122,6 +123,44 @@ impl RoundRobinArbiter {
     pub fn reset(&mut self) {
         self.last_granted = None;
         self.grants = 0;
+    }
+
+    /// Encodes the mutable state, in stable field order: `last_granted`
+    /// (presence flag + port), `grants`. The port count is a construction
+    /// parameter and not snapshot state.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        match self.last_granted {
+            Some(port) => {
+                enc.put_bool(true);
+                enc.put_u64(port as u64);
+            }
+            None => enc.put_bool(false),
+        }
+        enc.put_u64(self.grants);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input or a port index outside
+    /// this arbiter's range.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.last_granted = if dec.get_bool()? {
+            let offset = dec.position();
+            let port = dec.get_u64()? as usize;
+            if port >= self.ports {
+                return Err(DecodeError::Invalid {
+                    offset,
+                    what: "arbiter port index",
+                });
+            }
+            Some(port)
+        } else {
+            None
+        };
+        self.grants = dec.get_u64()?;
+        Ok(())
     }
 }
 

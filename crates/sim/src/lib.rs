@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arbiter;
+pub mod codec;
 pub mod event;
 pub mod hash;
 pub mod resource;
@@ -41,6 +42,7 @@ pub mod stats;
 pub mod time;
 
 pub use arbiter::RoundRobinArbiter;
+pub use codec::{DecodeError, Decoder, Encoder};
 pub use event::{Event, EventId};
 pub use resource::{Grant, MultiResource, Resource};
 pub use scheduler::Scheduler;

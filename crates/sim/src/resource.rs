@@ -10,6 +10,7 @@
 //! and ends, so callers can chain stages of a pipeline by feeding one grant's
 //! `end` into the next stage's earliest start.
 
+use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::stats::Utilization;
 use crate::time::SimTime;
 
@@ -119,6 +120,28 @@ impl Resource {
         self.util = Utilization::new();
         self.served = 0;
     }
+
+    /// Encodes the mutable state, in stable field order:
+    /// `free_at`, `util`, `served`. The diagnostic name is
+    /// construction-derived and deliberately not part of the snapshot.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_time(self.free_at);
+        self.util.encode_state(enc);
+        enc.put_u64(self.served);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// this (already constructed) resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.free_at = dec.get_time()?;
+        self.util.decode_state(dec)?;
+        self.served = dec.get_u64()?;
+        Ok(())
+    }
 }
 
 /// A pool of `n` identical single-ported servers; each request is assigned to
@@ -215,6 +238,36 @@ impl MultiResource {
         }
         self.util = Utilization::new();
         self.served = 0;
+    }
+
+    /// Encodes the mutable state, in stable field order: server count,
+    /// per-server `free_at`, `util`, `served`. The name is
+    /// construction-derived and not snapshot state.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_len(self.servers.len());
+        for &s in &self.servers {
+            enc.put_time(s);
+        }
+        self.util.encode_state(enc);
+        enc.put_u64(self.served);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input or if the encoded server
+    /// count differs from this pool's (the pool size is a configuration
+    /// parameter, so a mismatch means the snapshot belongs to a different
+    /// platform).
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        dec.get_exact_len(self.servers.len())?;
+        for s in &mut self.servers {
+            *s = dec.get_time()?;
+        }
+        self.util.decode_state(dec)?;
+        self.served = dec.get_u64()?;
+        Ok(())
     }
 }
 

@@ -42,6 +42,22 @@ impl SimRng {
         SimRng::new(self.next_u64() ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93))
     }
 
+    /// The raw SplitMix64 state word, for snapshotting.
+    ///
+    /// Note this is the internal state, **not** the seed passed to
+    /// [`new`](Self::new): restore it with [`from_state`](Self::from_state),
+    /// after which the generator continues the exact sequence it was
+    /// producing when captured.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Reconstructs a generator from a raw state word captured with
+    /// [`state`](Self::state).
+    pub fn from_state(state: u64) -> SimRng {
+        SimRng { state }
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -158,6 +174,18 @@ mod tests {
         let mut c1 = parent.fork(1);
         let mut c2 = parent.fork(2);
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn raw_state_round_trip_continues_the_sequence() {
+        let mut original = SimRng::new(42);
+        let _ = original.next_u64();
+        let _ = original.next_f64();
+        let mut restored = SimRng::from_state(original.state());
+        assert_eq!(restored, original);
+        for _ in 0..16 {
+            assert_eq!(restored.next_u64(), original.next_u64());
+        }
     }
 
     #[test]

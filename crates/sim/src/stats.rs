@@ -6,6 +6,7 @@
 //! columns are all derived from throughput meters attached to different
 //! pipeline stages).
 
+use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -183,6 +184,37 @@ impl LatencyHistogram {
         }
         self.max()
     }
+
+    /// Encodes the histogram, in stable field order: bucket array (length
+    /// prefix + counts), `count`, `sum_ns`, `min_ns`, `max_ns`.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_len(self.buckets.len());
+        for &b in &self.buckets {
+            enc.put_u64(b);
+        }
+        enc.put_u64(self.count);
+        enc.put_u128(self.sum_ns);
+        enc.put_u64(self.min_ns);
+        enc.put_u64(self.max_ns);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input or a bucket count other
+    /// than this histogram's fixed layout.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        dec.get_exact_len(self.buckets.len())?;
+        for b in &mut self.buckets {
+            *b = dec.get_u64()?;
+        }
+        self.count = dec.get_u64()?;
+        self.sum_ns = dec.get_u128()?;
+        self.min_ns = dec.get_u64()?;
+        self.max_ns = dec.get_u64()?;
+        Ok(())
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -219,6 +251,21 @@ impl Utilization {
             return 0.0;
         }
         self.busy.as_ps() as f64 / horizon.as_ps() as f64
+    }
+
+    /// Encodes the accumulated busy time (the tracker's only state).
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_time(self.busy);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.busy = dec.get_time()?;
+        Ok(())
     }
 }
 
