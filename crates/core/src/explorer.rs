@@ -485,7 +485,7 @@ impl Sweep {
 ///   byte-identical to the sequential [`run`](Self::run). The
 ///   `parallel_sweep` integration suite asserts this at 1, 2, 4 and 8
 ///   threads, and the session suite asserts the analogous property one
-///   level down: stepping a [`SimSession`](crate::SimSession) command by
+///   level down: stepping a [`SimSession`] command by
 ///   command reproduces the one-shot [`Ssd::simulate`] byte for byte.
 #[derive(Debug, Clone)]
 pub struct Explorer {

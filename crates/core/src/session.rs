@@ -1,6 +1,6 @@
 //! Steppable simulation sessions with observer probes.
 //!
-//! [`Ssd::session`] turns any [`CommandSource`](ssdx_hostif::CommandSource)
+//! [`Ssd::session`] turns any [`CommandSource`]
 //! into a [`SimSession`]: an
 //! in-flight simulation that can be advanced one command at a time
 //! ([`step`](SimSession::step)), up to a simulated deadline

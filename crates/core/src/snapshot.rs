@@ -298,6 +298,12 @@ pub const STATE_INVENTORY: &[StateInventoryEntry] = &[
         notes: "workspace auditor, no simulation state",
     },
     StateInventoryEntry {
+        crate_name: "ssdx-server",
+        carrier: None,
+        notes: "session state is held as Snapshot images between requests; the \
+                service itself adds no simulation state of its own",
+    },
+    StateInventoryEntry {
         crate_name: "ssdexplorer",
         carrier: None,
         notes: "facade re-exports only",

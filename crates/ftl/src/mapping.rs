@@ -521,10 +521,10 @@ impl PageMappedFtl {
     }
 
     /// Encodes the FTL's mutable state, in stable field order: the L2P table
-    /// (construction-fixed length; [`UNMAPPED`] as `0`, a mapped PPN as
+    /// (construction-fixed length; `UNMAPPED` as `0`, a mapped PPN as
     /// `ppn + 1` — the sentinel would otherwise cost a 10-byte varint per
-    /// unmapped page), the per-physical-page LPN table ([`PAGE_FREE`] as
-    /// `0`, [`PAGE_INVALID`] as `1`, a live LPN as `lpn + 2`), per-block
+    /// unmapped page), the per-physical-page LPN table (`PAGE_FREE` as
+    /// `0`, `PAGE_INVALID` as `1`, a live LPN as `lpn + 2`), per-block
     /// write pointers, valid counts and erase counts, the host and GC open
     /// blocks, the free pool in take/return order (its order is the
     /// wear-leveling tie-breaker, so it is observable state), then the

@@ -189,6 +189,11 @@ pub const LAYERS: &[CrateLayer] = &[
         layer: Layer::Harness,
     },
     CrateLayer {
+        name: "ssdx-server",
+        dir: "crates/server",
+        layer: Layer::Harness,
+    },
+    CrateLayer {
         name: "ssdexplorer",
         dir: "",
         layer: Layer::Facade,
@@ -205,9 +210,11 @@ pub const INTRA_LAYER_EDGES: &[(&str, &str, &str)] = &[(
 )];
 
 /// Library crates whose public surface is snapshot under
-/// `crates/lint/api/<name>.api`: `(package name, src dir)`. The harness
+/// `crates/lint/api/<name>.api`: `(package name, src dir)`. Most harness
 /// crates (bench CLI, alloctrack, this linter) are deliberately absent —
-/// nothing outside the workspace programs against them.
+/// nothing outside the workspace programs against them. `ssdx-server` IS
+/// pinned: remote clients program against its protocol and client
+/// library, so its surface is a compatibility contract.
 pub const API_CRATES: &[(&str, &str)] = &[
     ("ssdexplorer", "src"),
     ("ssdx-channel", "crates/channel/src"),
@@ -220,6 +227,7 @@ pub const API_CRATES: &[(&str, &str)] = &[
     ("ssdx-hostif", "crates/hostif/src"),
     ("ssdx-interconnect", "crates/interconnect/src"),
     ("ssdx-nand", "crates/nand/src"),
+    ("ssdx-server", "crates/server/src"),
     ("ssdx-sim", "crates/sim/src"),
 ];
 

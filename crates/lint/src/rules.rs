@@ -115,6 +115,11 @@ pub const RULES: &[RuleSpec] = &[
                 "crates/bench",
                 "benches and the experiments binary time real executions by design",
             ),
+            (
+                "crates/server/src/load.rs",
+                "the load generator measures client-observed service latency, which is \
+                 wall-clock by definition; simulation results stay SimTime-pure",
+            ),
         ],
         skip_test_code: false,
     },
@@ -146,10 +151,18 @@ pub const RULES: &[RuleSpec] = &[
             "rayon",
         ],
         include: EVERYWHERE,
-        exempt: &[(
-            "crates/core/src/parallel.rs",
-            "the executor itself is the one owner of OS threads",
-        )],
+        exempt: &[
+            (
+                "crates/core/src/parallel.rs",
+                "the executor itself is the one owner of OS threads",
+            ),
+            (
+                "crates/server",
+                "service I/O concurrency (acceptor, connection readers/writers, worker \
+                 pool, load generator) is not simulation work; determinism is preserved \
+                 per session, not per thread schedule",
+            ),
+        ],
         skip_test_code: false,
     },
     RuleSpec {
@@ -177,10 +190,17 @@ pub const RULES: &[RuleSpec] = &[
                tests/, and benches may print",
         patterns: &["println!", "print!", "eprintln!", "eprint!", "dbg!"],
         include: LIB_SOURCES,
-        exempt: &[(
-            "crates/bench/src",
-            "the experiments binary and its helpers are the workspace's CLI surface",
-        )],
+        exempt: &[
+            (
+                "crates/bench/src",
+                "the experiments binary and its helpers are the workspace's CLI surface",
+            ),
+            (
+                "crates/server/src/bin",
+                "the server/client/loadgen binaries are CLI surface; the server library \
+                 itself logs only through an injected writer handle and stays exempt-free",
+            ),
+        ],
         skip_test_code: false,
     },
     RuleSpec {

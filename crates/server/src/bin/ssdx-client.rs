@@ -1,0 +1,247 @@
+//! `ssdx-client` — a thin CLI speaking the `ssdx` wire protocol.
+//!
+//! See `docs/OPERATIONS.md` for a worked walkthrough.
+
+use ssdx_hostif::AccessPattern;
+use ssdx_server::{Client, WorkloadSpec};
+use ssdx_sim::SimTime;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: ssdx-client [--addr ADDR] <command> [options]
+
+commands:
+  create      create a session, print its id
+  run         create a session, run it to completion, print the report
+  tails       create a session, print its per-class tail percentiles
+  step        --session N --commands K: advance a session
+  report      --session N: fetch a session's report
+  fork        --session N: fork a session, print the new id
+  snapshot    --session N: fetch the snapshot image, print its size
+  close       --session N: close a session
+  shutdown    drain and stop the server
+
+session options (create | run | tails):
+  --config FILE      device config text (default: the built-in config)
+  --workload KIND    rw | sw | sr | rr | zipf | bursty | mixed | rmw (default rw)
+  --commands N       command count / rmw update pairs (default 4096)
+  --block BYTES      block size (default 4096)
+  --footprint BYTES  logical footprint (default 1 GiB)
+  --seed N           workload seed (default 42)
+  --theta X          zipf skew in (0,1) (default 0.9)
+  --read-frac X      read fraction in [0,1] (default 0.5)
+";
+
+struct Opts {
+    addr: String,
+    session: Option<u32>,
+    commands: u64,
+    block: u32,
+    footprint: u64,
+    seed: u64,
+    theta: f64,
+    read_frac: f64,
+    workload: String,
+    config: Option<String>,
+}
+
+impl Opts {
+    fn spec(&self) -> Result<WorkloadSpec, String> {
+        Ok(match self.workload.as_str() {
+            "sw" | "sr" | "rw" | "rr" => WorkloadSpec::Basic {
+                pattern: match self.workload.as_str() {
+                    "sw" => AccessPattern::SequentialWrite,
+                    "sr" => AccessPattern::SequentialRead,
+                    "rw" => AccessPattern::RandomWrite,
+                    _ => AccessPattern::RandomRead,
+                },
+                block_size: self.block,
+                command_count: self.commands,
+                footprint_bytes: self.footprint,
+                seed: self.seed,
+            },
+            "zipf" => WorkloadSpec::Zipfian {
+                theta: self.theta,
+                seed: self.seed,
+                command_count: self.commands,
+                block_size: self.block,
+                footprint_bytes: self.footprint,
+                read_fraction: self.read_frac,
+            },
+            "bursty" => WorkloadSpec::Bursty {
+                seed: self.seed,
+                command_count: self.commands,
+                block_size: self.block,
+                footprint_bytes: self.footprint,
+                read_fraction: self.read_frac,
+                burst_len: 32,
+                inter_arrival: SimTime::from_us(2),
+                idle_gap: SimTime::from_ms(1),
+            },
+            "mixed" => WorkloadSpec::MixedSize {
+                sizes: vec![(4096, 8), (16384, 3), (131_072, 1)],
+                seed: self.seed,
+                command_count: self.commands,
+                footprint_bytes: self.footprint,
+                read_fraction: self.read_frac,
+            },
+            "rmw" => WorkloadSpec::Rmw {
+                seed: self.seed,
+                updates: self.commands,
+                block_size: self.block,
+                footprint_bytes: self.footprint,
+            },
+            other => return Err(format!("unknown workload kind {other}")),
+        })
+    }
+
+    fn config_text(&self) -> Result<String, String> {
+        match &self.config {
+            Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+            None => Ok(ssdx_core::SsdConfig::builder("ssdx-client")
+                .build()
+                .map_err(|e| e.to_string())?
+                .to_text()),
+        }
+    }
+
+    fn session(&self) -> Result<u32, String> {
+        self.session.ok_or_else(|| "--session is required".into())
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ssdx-client: {message}");
+            if message.contains("usage") {
+                return ExitCode::from(2);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:7070".to_owned(),
+        session: None,
+        commands: 4096,
+        block: 4096,
+        footprint: 1 << 30,
+        seed: 42,
+        theta: 0.9,
+        read_frac: 0.5,
+        workload: "rw".to_owned(),
+        config: None,
+    };
+    let mut command = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = value()?,
+            "--session" => opts.session = Some(parse(&value()?)?),
+            "--commands" => opts.commands = parse(&value()?)?,
+            "--block" => opts.block = parse(&value()?)?,
+            "--footprint" => opts.footprint = parse(&value()?)?,
+            "--seed" => opts.seed = parse(&value()?)?,
+            "--theta" => opts.theta = parse(&value()?)?,
+            "--read-frac" => opts.read_frac = parse(&value()?)?,
+            "--workload" => opts.workload = value()?,
+            "--config" => opts.config = Some(value()?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            name if !name.starts_with('-') && command.is_none() => command = Some(arg),
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    let Some(command) = command else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    let mut client = Client::connect(&opts.addr).map_err(|e| e.to_string())?;
+    let fail = |e: ssdx_server::ClientError| e.to_string();
+    match command.as_str() {
+        "create" => {
+            let id = client
+                .create_session(&opts.config_text()?, &opts.spec()?)
+                .map_err(fail)?;
+            println!("session {id}");
+        }
+        "run" => {
+            let id = client
+                .create_session(&opts.config_text()?, &opts.spec()?)
+                .map_err(fail)?;
+            let report = client.fetch_report(id).map_err(fail)?;
+            client.close_session(id).map_err(fail)?;
+            println!("{report}");
+            println!("{}", report.summary_line());
+        }
+        "tails" => {
+            let id = client
+                .create_session(&opts.config_text()?, &opts.spec()?)
+                .map_err(fail)?;
+            let tails = client.fetch_tails(id).map_err(fail)?;
+            client.close_session(id).map_err(fail)?;
+            println!(
+                "class  count      mean        p50        p95        p99      p99.9        max"
+            );
+            for t in tails {
+                println!(
+                    "{:<5} {:>6} {:>9.1}us {:>9.1}us {:>9.1}us {:>9.1}us {:>9.1}us {:>9.1}us",
+                    t.class.label(),
+                    t.count,
+                    t.mean.as_us_f64(),
+                    t.p50.as_us_f64(),
+                    t.p95.as_us_f64(),
+                    t.p99.as_us_f64(),
+                    t.p999.as_us_f64(),
+                    t.max.as_us_f64(),
+                );
+            }
+        }
+        "step" => {
+            let progress = client.step(opts.session()?, opts.commands).map_err(fail)?;
+            println!(
+                "executed {} | completed {} | remaining {} | now {:.1} us",
+                progress.executed,
+                progress.completed,
+                progress.remaining,
+                progress.now.as_us_f64(),
+            );
+        }
+        "report" => {
+            let report = client.fetch_report(opts.session()?).map_err(fail)?;
+            println!("{report}");
+            println!("{}", report.summary_line());
+        }
+        "fork" => {
+            let parent = opts.session()?;
+            let child = client.fork(parent).map_err(fail)?;
+            println!("session {child} (forked from {parent})");
+        }
+        "snapshot" => {
+            let image = client.capture_snapshot(opts.session()?).map_err(fail)?;
+            println!("snapshot: {} bytes", image.len());
+        }
+        "close" => {
+            client.close_session(opts.session()?).map_err(fail)?;
+            println!("closed");
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(fail)?;
+            println!("server shutting down");
+        }
+        other => return Err(format!("unknown command {other}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("not a valid number: {value}"))
+}

@@ -1,0 +1,58 @@
+//! `ssdx-loadgen` — drives many concurrent sessions against a server
+//! and reports achieved throughput and client-observed latency.
+
+use ssdx_server::LoadgenConfig;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: ssdx-loadgen [options]
+  --addr ADDR        server address (default 127.0.0.1:7070)
+  --sessions N       total concurrent sessions (default 200)
+  --connections N    client connections to spread them over (default 8)
+  --steps N          commands per Step request (default 16)
+  --rounds N         Step rounds before fetching reports (default 2)
+";
+
+fn main() -> ExitCode {
+    let mut cfg = LoadgenConfig::new("127.0.0.1:7070");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| cfg.addr = v),
+            "--sessions" => parse(value("--sessions")).map(|v| cfg.sessions = v),
+            "--connections" => parse(value("--connections")).map(|v| cfg.connections = v),
+            "--steps" => parse(value("--steps")).map(|v| cfg.step_commands = v),
+            "--rounds" => parse(value("--rounds")).map(|v| cfg.rounds = v),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown option {other}")),
+        };
+        if let Err(message) = result {
+            eprintln!("ssdx-loadgen: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    match ssdx_server::load::run(&cfg) {
+        Ok(report) => {
+            println!("{report}");
+            if report.requests == report.replies {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ssdx-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: Result<String, String>) -> Result<T, String> {
+    let value = value?;
+    value.parse().map_err(|_| format!("not a number: {value}"))
+}

@@ -1,0 +1,367 @@
+//! A blocking client for the `ssdx` wire protocol.
+//!
+//! [`Client`] wraps one TCP connection: the constructor performs the
+//! version handshake, and each method sends one request and blocks for
+//! its control reply. Telemetry frames that arrive interleaved with
+//! control replies are buffered and surfaced through
+//! [`Client::take_telemetry`] / [`Client::poll_telemetry`] — the client
+//! never discards them, only the server's bounded queue may.
+
+use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+use crate::proto::{
+    ErrorCode, Request, Response, ServerMessage, Telemetry, WorkloadSpec, PROTOCOL_VERSION,
+};
+use ssdx_core::{PerfReport, TailSummary};
+use ssdx_sim::codec::DecodeError;
+use ssdx_sim::SimTime;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Anything that can go wrong talking to a server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes that do not decode.
+    Decode(DecodeError),
+    /// The server answered with a protocol error.
+    Server {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server violated the protocol (wrong reply kind, early close,
+    /// version mismatch).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Decode(e) => write!(f, "undecodable server message: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// The `Progress` reply of a `Step`/`RunUntil` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionProgress {
+    /// Completions retired by this request.
+    pub executed: u64,
+    /// The session clock after the advance.
+    pub now: SimTime,
+    /// Completions retired over the session's lifetime.
+    pub completed: u64,
+    /// Commands still waiting in the source stream.
+    pub remaining: u64,
+}
+
+/// One protocol connection to a running server.
+pub struct Client {
+    stream: TcpStream,
+    telemetry: VecDeque<Telemetry>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects and performs the `Hello`/`HelloAck` version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or if the server speaks a different
+    /// [`PROTOCOL_VERSION`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            telemetry: VecDeque::new(),
+            max_frame: MAX_FRAME_BYTES,
+        };
+        match client.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloAck { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::HelloAck { version } => Err(ClientError::Protocol(format!(
+                "server speaks protocol version {version}, this client speaks {PROTOCOL_VERSION}"
+            ))),
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Sends one request and blocks for its control reply, buffering any
+    /// telemetry that arrives in between.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport or decode errors, or if the server closes the
+    /// connection before replying. A [`Response::Error`] is returned as
+    /// a normal reply, not an `Err`.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        loop {
+            let Some(payload) = read_frame(&mut self.stream, self.max_frame)? else {
+                return Err(ClientError::Protocol(
+                    "server closed the connection mid-request".to_owned(),
+                ));
+            };
+            match ServerMessage::decode(&payload)? {
+                ServerMessage::Telemetry(t) => self.telemetry.push_back(t),
+                ServerMessage::Response(r) => return Ok(r),
+            }
+        }
+    }
+
+    /// Creates a session; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; server-side rejections surface as
+    /// [`ClientError::Server`].
+    pub fn create_session(
+        &mut self,
+        config_text: &str,
+        workload: &WorkloadSpec,
+    ) -> Result<u32, ClientError> {
+        match self.checked(&Request::CreateSession {
+            config: config_text.to_owned(),
+            workload: workload.clone(),
+        })? {
+            Response::SessionCreated { session } => Ok(session),
+            other => Err(unexpected("SessionCreated", &other)),
+        }
+    }
+
+    /// Advances a session by at most `commands` completions.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn step(&mut self, session: u32, commands: u64) -> Result<SessionProgress, ClientError> {
+        self.expect_progress(&Request::Step { session, commands })
+    }
+
+    /// Advances a session until its clock reaches `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn run_until(
+        &mut self,
+        session: u32,
+        deadline: SimTime,
+    ) -> Result<SessionProgress, ClientError> {
+        self.expect_progress(&Request::RunUntil { session, deadline })
+    }
+
+    /// Subscribes this connection to the session's telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn subscribe(&mut self, session: u32, sample_every: u64) -> Result<(), ClientError> {
+        match self.checked(&Request::Subscribe {
+            session,
+            sample_every,
+        })? {
+            Response::Subscribed { .. } => Ok(()),
+            other => Err(unexpected("Subscribed", &other)),
+        }
+    }
+
+    /// Removes the session's telemetry subscription.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn unsubscribe(&mut self, session: u32) -> Result<(), ClientError> {
+        match self.checked(&Request::Unsubscribe { session })? {
+            Response::Unsubscribed { .. } => Ok(()),
+            other => Err(unexpected("Unsubscribed", &other)),
+        }
+    }
+
+    /// Fetches the session's portable snapshot image (parse with
+    /// [`ssdx_core::Snapshot::from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn capture_snapshot(&mut self, session: u32) -> Result<Vec<u8>, ClientError> {
+        match self.checked(&Request::CaptureSnapshot { session })? {
+            Response::SnapshotImage { image, .. } => Ok(image),
+            other => Err(unexpected("SnapshotImage", &other)),
+        }
+    }
+
+    /// Forks the session; returns the new session's id.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn fork(&mut self, session: u32) -> Result<u32, ClientError> {
+        match self.checked(&Request::Fork { session })? {
+            Response::Forked { session, .. } => Ok(session),
+            other => Err(unexpected("Forked", &other)),
+        }
+    }
+
+    /// Runs the session to completion on a server-side fork and returns
+    /// the full report (the session itself does not advance).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn fetch_report(&mut self, session: u32) -> Result<PerfReport, ClientError> {
+        match self.checked(&Request::FetchReport { session })? {
+            Response::Report { report, .. } => Ok(*report),
+            other => Err(unexpected("Report", &other)),
+        }
+    }
+
+    /// Like [`Client::fetch_report`], returning only the per-class tail
+    /// summaries.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn fetch_tails(&mut self, session: u32) -> Result<Vec<TailSummary>, ClientError> {
+        match self.checked(&Request::FetchTails { session })? {
+            Response::Tails { tails, .. } => Ok(tails),
+            other => Err(unexpected("Tails", &other)),
+        }
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn close_session(&mut self, session: u32) -> Result<(), ClientError> {
+        match self.checked(&Request::CloseSession { session })? {
+            Response::Closed { .. } => Ok(()),
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.checked(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Drains the telemetry buffered so far (non-blocking; does not read
+    /// from the socket).
+    pub fn take_telemetry(&mut self) -> Vec<Telemetry> {
+        self.telemetry.drain(..).collect()
+    }
+
+    /// Returns the next telemetry message, reading from the socket with
+    /// `timeout` if none is buffered. `Ok(None)` means nothing arrived
+    /// in time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport or decode errors. A control frame arriving
+    /// here (for which no request is pending) is a protocol violation,
+    /// except a shutdown broadcast, which surfaces as an error of kind
+    /// [`ClientError::Protocol`] too.
+    pub fn poll_telemetry(&mut self, timeout: Duration) -> Result<Option<Telemetry>, ClientError> {
+        if let Some(t) = self.telemetry.pop_front() {
+            return Ok(Some(t));
+        }
+        self.stream.set_read_timeout(Some(timeout))?;
+        let result = self.read_one_telemetry();
+        self.stream.set_read_timeout(None)?;
+        result
+    }
+
+    fn read_one_telemetry(&mut self) -> Result<Option<Telemetry>, ClientError> {
+        // Peek first so a timeout cannot strand us mid-frame.
+        let mut probe = [0u8; 1];
+        match self.stream.peek(&mut probe) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        }
+        match read_frame(&mut self.stream, self.max_frame)? {
+            None => Ok(None),
+            Some(payload) => match ServerMessage::decode(&payload)? {
+                ServerMessage::Telemetry(t) => Ok(Some(t)),
+                ServerMessage::Response(r) => Err(ClientError::Protocol(format!(
+                    "unsolicited control frame {r:?}"
+                ))),
+            },
+        }
+    }
+
+    /// Like [`Client::request`] but turns a [`Response::Error`] reply
+    /// into [`ClientError::Server`].
+    fn checked(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    fn expect_progress(&mut self, request: &Request) -> Result<SessionProgress, ClientError> {
+        match self.checked(request)? {
+            Response::Progress {
+                executed,
+                now,
+                completed,
+                remaining,
+                ..
+            } => Ok(SessionProgress {
+                executed,
+                now,
+                completed,
+                remaining,
+            }),
+            other => Err(unexpected("Progress", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected a {wanted} reply, got {got:?}"))
+}

@@ -1,0 +1,261 @@
+//! The load generator: the first measurement of the "many users" axis.
+//!
+//! Drives N sessions over M connections against one server and reports
+//! achieved sessions/s, commands/s and *client-observed* request
+//! latencies (p50/p99/max — wall-clock on purpose: this file measures
+//! the service, not the simulation, and is the one library module
+//! exempted from the no-wall-clock determinism rule). All connections
+//! create their sessions first and rendezvous on a barrier, so the
+//! configured session count is genuinely concurrent before any stepping
+//! begins; the report's `requests`/`replies` pair then certifies zero
+//! control-message loss.
+
+use crate::client::{Client, ClientError};
+use crate::proto::WorkloadSpec;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// What [`run`] should drive.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7070`.
+    pub addr: String,
+    /// Total sessions, split across the connections.
+    pub sessions: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Completions per `Step` request.
+    pub step_commands: u64,
+    /// `Step` rounds issued to every session before its report is
+    /// fetched (the fetch itself drives the remaining commands).
+    pub rounds: usize,
+    /// Device config text for every session (`SsdConfig::to_text`).
+    pub config_text: String,
+    /// Workload spec for every session (seeds are offset per session so
+    /// streams differ).
+    pub spec: WorkloadSpec,
+}
+
+impl LoadgenConfig {
+    /// A small-topology, 200-session default aimed at `addr`.
+    pub fn new(addr: impl Into<String>) -> LoadgenConfig {
+        let config_text = ssdx_core::SsdConfig::builder("loadgen")
+            .topology(2, 2, 1)
+            .seed(1)
+            .build()
+            .expect("the default loadgen config is valid")
+            .to_text();
+        LoadgenConfig {
+            addr: addr.into(),
+            sessions: 200,
+            connections: 8,
+            step_commands: 16,
+            rounds: 2,
+            config_text,
+            spec: WorkloadSpec::Zipfian {
+                theta: 0.9,
+                seed: 1,
+                command_count: 64,
+                block_size: 4096,
+                footprint_bytes: 1 << 24,
+                read_fraction: 0.5,
+            },
+        }
+    }
+}
+
+/// What the run achieved.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Sessions created (all concurrently live at the barrier).
+    pub sessions: usize,
+    /// Connections used.
+    pub connections: usize,
+    /// Simulated commands retired across all sessions.
+    pub commands: u64,
+    /// Control requests sent.
+    pub requests: u64,
+    /// Control replies received. Equal to `requests` means zero control
+    /// loss.
+    pub replies: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Sessions completed per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Simulated commands retired per wall-clock second.
+    pub commands_per_sec: f64,
+    /// Median client-observed request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst client-observed request latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl std::fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} sessions over {} connections in {:.2} s",
+            self.sessions, self.connections, self.elapsed_secs
+        )?;
+        writeln!(
+            f,
+            "  {:.1} sessions/s | {:.0} commands/s ({} commands)",
+            self.sessions_per_sec, self.commands_per_sec, self.commands
+        )?;
+        writeln!(
+            f,
+            "  request latency p50 {:.2} ms | p99 {:.2} ms | max {:.2} ms",
+            self.p50_ms, self.p99_ms, self.max_ms
+        )?;
+        write!(
+            f,
+            "  control: {} requests, {} replies ({})",
+            self.requests,
+            self.replies,
+            if self.requests == self.replies {
+                "zero loss"
+            } else {
+                "LOSS DETECTED"
+            }
+        )
+    }
+}
+
+/// Per-connection tally, merged after the join.
+struct ConnTally {
+    commands: u64,
+    requests: u64,
+    replies: u64,
+    latencies: Vec<f64>,
+}
+
+/// Drives the configured fleet and measures it.
+///
+/// # Errors
+///
+/// Returns the first [`ClientError`] any connection hits (including
+/// server-side protocol errors — the load generator expects a clean
+/// server).
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+    let connections = cfg.connections.max(1);
+    let barrier = Barrier::new(connections);
+    let started = Instant::now();
+    let tallies: Vec<Result<ConnTally, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn_index| {
+                let barrier = &barrier;
+                scope.spawn(move || drive_connection(cfg, conn_index, connections, barrier))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread"))
+            .collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let mut commands = 0u64;
+    let mut requests = 0u64;
+    let mut replies = 0u64;
+    let mut latencies = Vec::new();
+    for tally in tallies {
+        let tally = tally?;
+        commands += tally.commands;
+        requests += tally.requests;
+        replies += tally.replies;
+        latencies.extend(tally.latencies);
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx] * 1e3
+    };
+    Ok(LoadgenReport {
+        sessions: cfg.sessions,
+        connections,
+        commands,
+        requests,
+        replies,
+        elapsed_secs,
+        sessions_per_sec: cfg.sessions as f64 / elapsed_secs.max(1e-9),
+        commands_per_sec: commands as f64 / elapsed_secs.max(1e-9),
+        p50_ms: quantile(0.50),
+        p99_ms: quantile(0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
+    })
+}
+
+/// Offsets the spec's seed so every session runs a distinct stream.
+fn reseeded(spec: &WorkloadSpec, offset: u64) -> WorkloadSpec {
+    let mut spec = spec.clone();
+    match &mut spec {
+        WorkloadSpec::Basic { seed, .. }
+        | WorkloadSpec::Zipfian { seed, .. }
+        | WorkloadSpec::Bursty { seed, .. }
+        | WorkloadSpec::MixedSize { seed, .. }
+        | WorkloadSpec::Rmw { seed, .. } => *seed = seed.wrapping_add(offset),
+    }
+    spec
+}
+
+fn drive_connection(
+    cfg: &LoadgenConfig,
+    conn_index: usize,
+    connections: usize,
+    barrier: &Barrier,
+) -> Result<ConnTally, ClientError> {
+    let mut tally = ConnTally {
+        commands: 0,
+        requests: 0,
+        replies: 0,
+        latencies: Vec::new(),
+    };
+    let mut client = Client::connect(&cfg.addr)?;
+    // Handshake = one request/reply pair.
+    tally.requests += 1;
+    tally.replies += 1;
+    // This connection's share of the session fleet.
+    let share: Vec<usize> = (0..cfg.sessions)
+        .skip(conn_index)
+        .step_by(connections)
+        .collect();
+    let mut ids = Vec::with_capacity(share.len());
+    for &session_index in &share {
+        let spec = reseeded(&cfg.spec, session_index as u64);
+        let started = Instant::now();
+        tally.requests += 1;
+        let id = client.create_session(&cfg.config_text, &spec)?;
+        tally.replies += 1;
+        tally.latencies.push(started.elapsed().as_secs_f64());
+        ids.push(id);
+    }
+    // Every session of the whole fleet exists before anything steps.
+    barrier.wait();
+    for _ in 0..cfg.rounds {
+        for &id in &ids {
+            let started = Instant::now();
+            tally.requests += 1;
+            client.step(id, cfg.step_commands)?;
+            tally.replies += 1;
+            tally.latencies.push(started.elapsed().as_secs_f64());
+        }
+    }
+    for &id in &ids {
+        let started = Instant::now();
+        tally.requests += 1;
+        let report = client.fetch_report(id)?;
+        tally.replies += 1;
+        tally.latencies.push(started.elapsed().as_secs_f64());
+        tally.commands += report.commands;
+    }
+    for &id in &ids {
+        tally.requests += 1;
+        client.close_session(id)?;
+        tally.replies += 1;
+    }
+    Ok(tally)
+}

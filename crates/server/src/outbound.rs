@@ -1,0 +1,163 @@
+//! Per-connection outbound queues: the two-channel send side.
+//!
+//! Each connection owns one [`Outbound`], drained by a dedicated writer
+//! thread. Control replies are queued without bound (the request/reply
+//! discipline means at most a handful are ever pending) and are **never
+//! dropped**. Telemetry is bounded: when a subscriber cannot keep up, the
+//! oldest queued telemetry message is shed and a
+//! [`Telemetry::Dropped`](crate::proto::Telemetry::Dropped) marker is
+//! emitted at the next drain so the client can observe the gap. This is
+//! the documented backpressure policy of `docs/PROTOCOL.md` §Channels.
+
+use crate::proto::Telemetry;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct OutState {
+    control: VecDeque<Vec<u8>>,
+    telemetry: VecDeque<Vec<u8>>,
+    /// Telemetry messages shed since the last `Dropped` marker.
+    dropped: u64,
+    /// Session whose telemetry was shed most recently.
+    dropped_session: u32,
+    closed: bool,
+}
+
+/// The send half of one connection: ordered control + lossy telemetry.
+pub(crate) struct Outbound {
+    state: Mutex<OutState>,
+    cv: Condvar,
+    telemetry_cap: usize,
+}
+
+impl Outbound {
+    /// Creates a queue pair whose telemetry side holds at most
+    /// `telemetry_cap` messages (at least one).
+    pub(crate) fn new(telemetry_cap: usize) -> Outbound {
+        Outbound {
+            state: Mutex::new(OutState {
+                control: VecDeque::new(),
+                telemetry: VecDeque::new(),
+                dropped: 0,
+                dropped_session: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            telemetry_cap: telemetry_cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, OutState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Queues a control reply. Control is unbounded and never dropped.
+    pub(crate) fn send_control(&self, frame: Vec<u8>) {
+        let mut state = self.lock();
+        if state.closed {
+            return;
+        }
+        state.control.push_back(frame);
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    /// Queues a telemetry message, shedding the oldest one (and counting
+    /// it toward the next `Dropped` marker) if the queue is full.
+    pub(crate) fn send_telemetry(&self, session: u32, frame: Vec<u8>) {
+        let mut state = self.lock();
+        if state.closed {
+            return;
+        }
+        if state.telemetry.len() >= self.telemetry_cap {
+            state.telemetry.pop_front();
+            state.dropped += 1;
+            state.dropped_session = session;
+        }
+        state.telemetry.push_back(frame);
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    /// Marks the connection closed: senders become no-ops and the writer
+    /// drains what is queued, then stops.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next frame to write. Control drains first, then a
+    /// pending `Dropped` marker, then telemetry. Returns `None` once the
+    /// queue is closed and fully drained.
+    pub(crate) fn next(&self) -> Option<Vec<u8>> {
+        let mut state = self.lock();
+        loop {
+            if let Some(frame) = state.control.pop_front() {
+                return Some(frame);
+            }
+            if state.dropped > 0 {
+                let marker = Telemetry::Dropped {
+                    session: state.dropped_session,
+                    dropped: state.dropped,
+                }
+                .encode();
+                state.dropped = 0;
+                return Some(marker);
+            }
+            if let Some(frame) = state.telemetry.pop_front() {
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_precedes_telemetry_and_is_never_shed() {
+        let q = Outbound::new(2);
+        q.send_telemetry(7, vec![1]);
+        q.send_control(vec![2]);
+        assert_eq!(q.next(), Some(vec![2]));
+        assert_eq!(q.next(), Some(vec![1]));
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_and_emits_one_marker() {
+        let q = Outbound::new(2);
+        q.send_telemetry(3, vec![1]);
+        q.send_telemetry(3, vec![2]);
+        q.send_telemetry(3, vec![3]);
+        q.send_telemetry(3, vec![4]);
+        // Two messages were shed; the marker reports both, then the two
+        // surviving (newest) messages follow.
+        let marker = q.next().unwrap();
+        match Telemetry::decode(&marker).unwrap() {
+            Telemetry::Dropped { session, dropped } => {
+                assert_eq!(session, 3);
+                assert_eq!(dropped, 2);
+            }
+            other => panic!("expected a Dropped marker, got {other:?}"),
+        }
+        assert_eq!(q.next(), Some(vec![3]));
+        assert_eq!(q.next(), Some(vec![4]));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Outbound::new(4);
+        q.send_control(vec![9]);
+        q.close();
+        assert_eq!(q.next(), Some(vec![9]));
+        assert_eq!(q.next(), None);
+        // Sends after close are no-ops.
+        q.send_control(vec![1]);
+        assert_eq!(q.next(), None);
+    }
+}

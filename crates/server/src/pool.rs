@@ -1,0 +1,138 @@
+//! A bounded worker pool for session jobs.
+//!
+//! The design follows `ssdx_core::ParallelExecutor`'s worker-pool idiom —
+//! a shared job queue drained by a fixed set of named threads — adapted
+//! from scoped sweep fan-out to a long-running service: jobs are
+//! `'static` closures, and shutdown is *draining* (queued jobs finish
+//! before the workers exit), which is what makes the server's graceful
+//! shutdown drain in-flight steps instead of abandoning them.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// One unit of session work.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    closing: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+fn lock(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fixed-size pool of worker threads draining one shared job queue.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least one) named worker threads.
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                closing: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ssdx-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Queues a job. Returns `false` (job not queued) once the pool is
+    /// shutting down.
+    pub(crate) fn submit(&self, job: Job) -> bool {
+        let mut state = lock(&self.shared);
+        if state.closing {
+            return false;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.cv.notify_one();
+        true
+    }
+
+    /// Drains the queue and joins every worker. Jobs already queued run
+    /// to completion; new submissions are refused.
+    pub(crate) fn shutdown(&self) {
+        lock(&self.shared).closing = true;
+        self.shared.cv.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut state = lock(shared);
+    loop {
+        if let Some(job) = state.jobs.pop_front() {
+            drop(state);
+            // A panicking job must not take the worker (or the server)
+            // down; the job's reply channel is dropped and the waiting
+            // connection reports a session failure instead.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            state = lock(shared);
+        } else if state.closing {
+            return;
+        } else {
+            state = shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            assert!(pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+        assert!(!pool.submit(Box::new(|| {})));
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(Box::new(|| panic!("job failure")));
+        let after = Arc::clone(&done);
+        pool.submit(Box::new(move || {
+            after.fetch_add(1, Ordering::SeqCst);
+        }));
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,518 @@
+//! The session table: server-side lifecycle and isolation of simulated
+//! devices.
+//!
+//! Every session is one [`SessionEntry`]: an owned [`Ssd`] platform, its
+//! rebuilt [`CommandSource`] and the latest captured [`Snapshot`] image.
+//! Operations never hold a live `SimSession` across requests — each
+//! request *forks* a session from the stored image, runs, and re-captures
+//! (PR 8's fork-equals-continuous equivalence makes this byte-identical
+//! to having kept the session open). That idiom buys the two service
+//! invariants for free:
+//!
+//! * **observation is pure** — `FetchReport`/`FetchTails` fork, run to
+//!   completion and *discard*, so the stored image is untouched and the
+//!   same query repeats byte-identically;
+//! * **failure is contained** — every simulation runs under
+//!   `catch_unwind`; a panicking session is discarded and reported as
+//!   [`ErrorCode::SessionFailed`], and the server keeps serving.
+//!
+//! Concurrency: the table lock is held only to check a session out or
+//! in. While an operation runs, the slot is marked busy and other
+//! requests for the *same* session wait on a condvar; different sessions
+//! proceed in parallel on the worker pool.
+
+use crate::outbound::Outbound;
+use crate::proto::{ErrorCode, Telemetry, WorkloadSpec};
+use ssdx_core::{PerfReport, SimSession, Snapshot, Ssd, SsdConfig, TailSummary};
+use ssdx_hostif::CommandSource;
+use ssdx_sim::SimTime;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A failed session operation: the protocol error to send back.
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    /// Machine-readable class.
+    pub(crate) code: ErrorCode,
+    /// Human-readable detail.
+    pub(crate) message: String,
+}
+
+impl Failure {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Failure {
+        Failure {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn unknown_session(id: u32) -> Failure {
+        Failure::new(ErrorCode::UnknownSession, format!("no session {id}"))
+    }
+}
+
+/// How far [`SessionHost::advance`] should drive a session.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AdvanceMode {
+    /// Retire at most this many completions.
+    Steps(u64),
+    /// Run until the session clock reaches the deadline.
+    Until(SimTime),
+}
+
+/// What an advance accomplished (the `Progress` reply fields).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Advance {
+    pub(crate) executed: u64,
+    pub(crate) now: SimTime,
+    pub(crate) completed: u64,
+    pub(crate) remaining: u64,
+}
+
+/// A telemetry subscription: where to send, and how often to sample
+/// utilization.
+struct Subscriber {
+    outbound: Arc<Outbound>,
+    sample_every: u64,
+}
+
+/// One hosted session.
+struct SessionEntry {
+    config: SsdConfig,
+    spec: WorkloadSpec,
+    ssd: Ssd,
+    source: Box<dyn CommandSource + Send + Sync>,
+    image: Snapshot,
+    subscriber: Option<Subscriber>,
+}
+
+enum Slot {
+    /// Checked out by an in-flight operation; waiters queue on the
+    /// table condvar.
+    Busy,
+    Ready(Box<SessionEntry>),
+}
+
+struct TableState {
+    next_id: u32,
+    slots: BTreeMap<u32, Slot>,
+    draining: bool,
+}
+
+/// The shared session table.
+pub(crate) struct SessionHost {
+    state: Mutex<TableState>,
+    cv: Condvar,
+    max_sessions: usize,
+}
+
+impl SessionHost {
+    /// Creates an empty table admitting at most `max_sessions` sessions.
+    pub(crate) fn new(max_sessions: usize) -> SessionHost {
+        SessionHost {
+            state: Mutex::new(TableState {
+                next_id: 1,
+                slots: BTreeMap::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TableState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of live sessions.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Stops admitting new sessions (graceful shutdown). In-flight and
+    /// queued operations on existing sessions still complete.
+    pub(crate) fn drain(&self) {
+        self.lock().draining = true;
+    }
+
+    /// Creates a session; returns its id and the command count.
+    pub(crate) fn create(
+        &self,
+        config_text: &str,
+        spec: &WorkloadSpec,
+    ) -> Result<(u32, u64), Failure> {
+        if self.lock().draining {
+            return Err(Failure::new(
+                ErrorCode::ShuttingDown,
+                "the server is shutting down",
+            ));
+        }
+        let config = SsdConfig::from_text(config_text)
+            .map_err(|e| Failure::new(ErrorCode::BadConfig, e.to_string()))?;
+        let source = spec
+            .build()
+            .map_err(|e| Failure::new(ErrorCode::BadWorkload, e))?;
+        let entry = guard_simulation(AssertUnwindSafe(|| {
+            let mut ssd = Ssd::try_new(config.clone())
+                .map_err(|e| Failure::new(ErrorCode::BadConfig, e.to_string()))?;
+            let image = ssd.session(source.as_ref()).capture();
+            Ok((ssd, image))
+        }))?;
+        let (ssd, image) = entry?;
+        let remaining = source.commands().len() as u64;
+        let id = self.insert(Box::new(SessionEntry {
+            config,
+            spec: spec.clone(),
+            ssd,
+            source,
+            image,
+            subscriber: None,
+        }))?;
+        Ok((id, remaining))
+    }
+
+    /// Advances a session, emitting telemetry to its subscriber.
+    pub(crate) fn advance(&self, id: u32, mode: AdvanceMode) -> Result<Advance, Failure> {
+        self.with_entry(id, |entry| {
+            let sample_every = entry.subscriber.as_ref().map_or(0, |s| s.sample_every);
+            let subscribed = entry.subscriber.is_some();
+            let mut records = Vec::new();
+            let mut samples = Vec::new();
+            let mut session = SimSession::fork(&mut entry.ssd, entry.source.as_ref(), &entry.image)
+                .map_err(|e| {
+                    Failure::new(ErrorCode::SessionFailed, format!("stored image: {e}"))
+                })?;
+            let mut executed = 0u64;
+            loop {
+                match mode {
+                    AdvanceMode::Steps(n) => {
+                        if executed >= n {
+                            break;
+                        }
+                    }
+                    AdvanceMode::Until(deadline) => {
+                        if session.is_done() || session.now() >= deadline {
+                            break;
+                        }
+                    }
+                }
+                let Some(record) = session.step() else { break };
+                executed += 1;
+                if subscribed {
+                    if sample_every > 0 && session.completed() % sample_every == 0 {
+                        samples.push(session.snapshot());
+                    }
+                    records.push(record);
+                }
+            }
+            let advance = Advance {
+                executed,
+                now: session.now(),
+                completed: session.completed(),
+                remaining: session.remaining(),
+            };
+            entry.image = session.capture();
+            drop(session);
+            if let Some(sub) = &entry.subscriber {
+                for record in records {
+                    sub.outbound.send_telemetry(
+                        id,
+                        Telemetry::Completion {
+                            session: id,
+                            record,
+                        }
+                        .encode(),
+                    );
+                }
+                for snapshot in samples {
+                    sub.outbound.send_telemetry(
+                        id,
+                        Telemetry::Utilization {
+                            session: id,
+                            snapshot,
+                        }
+                        .encode(),
+                    );
+                }
+            }
+            Ok(advance)
+        })
+    }
+
+    /// Installs (or replaces) the session's telemetry subscriber.
+    pub(crate) fn subscribe(
+        &self,
+        id: u32,
+        outbound: Arc<Outbound>,
+        sample_every: u64,
+    ) -> Result<(), Failure> {
+        self.with_entry(id, |entry| {
+            entry.subscriber = Some(Subscriber {
+                outbound,
+                sample_every,
+            });
+            Ok(())
+        })
+    }
+
+    /// Removes the session's telemetry subscriber, if any.
+    pub(crate) fn unsubscribe(&self, id: u32) -> Result<(), Failure> {
+        self.with_entry(id, |entry| {
+            entry.subscriber = None;
+            Ok(())
+        })
+    }
+
+    /// Returns the session's current snapshot image bytes.
+    pub(crate) fn capture(&self, id: u32) -> Result<Vec<u8>, Failure> {
+        self.with_entry(id, |entry| Ok(entry.image.to_bytes().to_vec()))
+    }
+
+    /// Forks a session: the new session starts from the parent's current
+    /// image; the parent is untouched. Returns the new id.
+    pub(crate) fn fork(&self, id: u32) -> Result<u32, Failure> {
+        let child = self.with_entry(id, |entry| {
+            let source = entry
+                .spec
+                .build()
+                .map_err(|e| Failure::new(ErrorCode::BadWorkload, e))?;
+            let ssd = Ssd::try_new(entry.config.clone())
+                .map_err(|e| Failure::new(ErrorCode::BadConfig, e.to_string()))?;
+            Ok(Box::new(SessionEntry {
+                config: entry.config.clone(),
+                spec: entry.spec.clone(),
+                ssd,
+                source,
+                image: entry.image.clone(),
+                subscriber: None,
+            }))
+        })?;
+        self.insert(child)
+    }
+
+    /// Runs the session to completion *on a fork* and returns the full
+    /// report. The stored session does not move: fetching twice, or
+    /// stepping further and fetching again, behaves exactly like the
+    /// equivalent in-process run.
+    pub(crate) fn report(&self, id: u32) -> Result<PerfReport, Failure> {
+        self.with_entry(id, |entry| {
+            let session = SimSession::fork(&mut entry.ssd, entry.source.as_ref(), &entry.image)
+                .map_err(|e| {
+                    Failure::new(ErrorCode::SessionFailed, format!("stored image: {e}"))
+                })?;
+            Ok(session.finish())
+        })
+    }
+
+    /// Per-class tail summaries of the completed run (see
+    /// [`report`](Self::report) for the purity contract).
+    pub(crate) fn tails(&self, id: u32) -> Result<[TailSummary; 3], Failure> {
+        self.report(id).map(|r| r.tails())
+    }
+
+    /// Closes a session, discarding its state.
+    pub(crate) fn close(&self, id: u32) -> Result<(), Failure> {
+        // Wait for any in-flight operation, then remove the busy marker.
+        let entry = self.checkout(id)?;
+        drop(entry);
+        self.lock().slots.remove(&id);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    fn insert(&self, entry: Box<SessionEntry>) -> Result<u32, Failure> {
+        let mut state = self.lock();
+        if state.slots.len() >= self.max_sessions {
+            return Err(Failure::new(
+                ErrorCode::SessionLimit,
+                format!("session limit ({}) reached", self.max_sessions),
+            ));
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.slots.insert(id, Slot::Ready(entry));
+        Ok(id)
+    }
+
+    fn checkout(&self, id: u32) -> Result<Box<SessionEntry>, Failure> {
+        let mut state = self.lock();
+        loop {
+            let Some(slot) = state.slots.get_mut(&id) else {
+                return Err(Failure::unknown_session(id));
+            };
+            match std::mem::replace(slot, Slot::Busy) {
+                Slot::Ready(entry) => return Ok(entry),
+                Slot::Busy => {
+                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    fn checkin(&self, id: u32, entry: Box<SessionEntry>) {
+        self.lock().slots.insert(id, Slot::Ready(entry));
+        self.cv.notify_all();
+    }
+
+    /// Checks the session out, runs `f` under a panic guard, checks it
+    /// back in — or discards it if `f` panicked, reporting
+    /// [`ErrorCode::SessionFailed`].
+    fn with_entry<R>(
+        &self,
+        id: u32,
+        f: impl FnOnce(&mut SessionEntry) -> Result<R, Failure>,
+    ) -> Result<R, Failure> {
+        let mut entry = self.checkout(id)?;
+        match guard_simulation(AssertUnwindSafe(|| f(&mut entry))) {
+            Ok(result) => {
+                self.checkin(id, entry);
+                result
+            }
+            Err(failure) => {
+                // The entry's state is suspect after a panic: discard it.
+                drop(entry);
+                self.lock().slots.remove(&id);
+                self.cv.notify_all();
+                Err(failure)
+            }
+        }
+    }
+}
+
+/// Runs `f` under `catch_unwind`, translating a panic into a
+/// [`ErrorCode::SessionFailed`] failure carrying the panic message.
+fn guard_simulation<R>(f: impl FnOnce() -> R) -> Result<R, Failure> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "session panicked".to_owned()
+        };
+        Failure::new(
+            ErrorCode::SessionFailed,
+            format!("session failed: {message}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdx_hostif::AccessPattern;
+    use ssdx_hostif::HostCommand;
+    use std::borrow::Cow;
+
+    fn small_config_text() -> String {
+        SsdConfig::builder("host-test")
+            .topology(2, 2, 1)
+            .seed(7)
+            .build()
+            .unwrap()
+            .to_text()
+    }
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::Basic {
+            pattern: AccessPattern::RandomWrite,
+            block_size: 4096,
+            command_count: 64,
+            footprint_bytes: 1 << 20,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn create_step_report_close() {
+        let host = SessionHost::new(8);
+        let (id, remaining) = host.create(&small_config_text(), &small_spec()).unwrap();
+        assert_eq!(remaining, 64);
+        let adv = host.advance(id, AdvanceMode::Steps(10)).unwrap();
+        assert_eq!(adv.executed, 10);
+        assert_eq!(adv.completed, 10);
+        assert_eq!(adv.remaining, 54);
+        let report = host.report(id).unwrap();
+        assert_eq!(report.commands, 64);
+        // Observation is pure: fetching again is byte-identical and the
+        // session has not moved.
+        let again = host.report(id).unwrap();
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+        let adv = host.advance(id, AdvanceMode::Steps(0)).unwrap();
+        assert_eq!(adv.completed, 10);
+        host.close(id).unwrap();
+        assert_eq!(host.close(id).unwrap_err().code, ErrorCode::UnknownSession);
+    }
+
+    #[test]
+    fn bad_config_and_bad_workload_are_protocol_errors() {
+        let host = SessionHost::new(8);
+        let err = host.create("channels = 0\n", &small_spec()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadConfig);
+        let bad = WorkloadSpec::Zipfian {
+            theta: 1.5,
+            seed: 1,
+            command_count: 16,
+            block_size: 4096,
+            footprint_bytes: 1 << 20,
+            read_fraction: 0.5,
+        };
+        let err = host.create(&small_config_text(), &bad).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadWorkload);
+    }
+
+    #[test]
+    fn session_limit_is_enforced() {
+        let host = SessionHost::new(1);
+        host.create(&small_config_text(), &small_spec()).unwrap();
+        let err = host
+            .create(&small_config_text(), &small_spec())
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::SessionLimit);
+    }
+
+    #[test]
+    fn fork_matches_continuous_run() {
+        let host = SessionHost::new(8);
+        let (a, _) = host.create(&small_config_text(), &small_spec()).unwrap();
+        host.advance(a, AdvanceMode::Steps(20)).unwrap();
+        let b = host.fork(a).unwrap();
+        let ra = host.report(a).unwrap();
+        let rb = host.report(b).unwrap();
+        assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+    }
+
+    /// A source whose commands() panics after construction — the hostile
+    /// case `WorkloadSpec` validation cannot reach.
+    #[derive(Debug)]
+    struct PanickingSource;
+    impl CommandSource for PanickingSource {
+        fn label(&self) -> String {
+            "panic".to_owned()
+        }
+        fn commands(&self) -> Cow<'_, [HostCommand]> {
+            panic!("injected source failure")
+        }
+    }
+
+    #[test]
+    fn a_panicking_session_is_discarded_not_fatal() {
+        let host = SessionHost::new(8);
+        let (id, _) = host.create(&small_config_text(), &small_spec()).unwrap();
+        // Swap in a panicking source via the entry mutation path.
+        let mut entry = host.checkout(id).unwrap();
+        entry.source = Box::new(PanickingSource);
+        host.checkin(id, entry);
+        let err = host.advance(id, AdvanceMode::Steps(1)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::SessionFailed);
+        assert!(err.message.contains("injected source failure"));
+        // The broken session is gone; the host still serves new ones.
+        assert_eq!(
+            host.advance(id, AdvanceMode::Steps(1)).unwrap_err().code,
+            ErrorCode::UnknownSession
+        );
+        let (id2, _) = host.create(&small_config_text(), &small_spec()).unwrap();
+        host.advance(id2, AdvanceMode::Steps(1)).unwrap();
+    }
+}

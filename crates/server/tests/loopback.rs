@@ -1,0 +1,261 @@
+//! End-to-end tests over a real loopback socket: an ephemeral-port
+//! server, the client library, and the acceptance criteria — remote
+//! reports byte-identical to in-process runs, fork equivalence,
+//! telemetry streaming, and the ≥200-concurrent-session load target
+//! with zero control-message loss.
+
+use ssdx_hostif::AccessPattern;
+use ssdx_server::{
+    Client, ClientError, ErrorCode, LoadgenConfig, Server, ServerConfig, Telemetry, WorkloadSpec,
+};
+use ssdx_sim::SimTime;
+use std::time::Duration;
+
+fn ephemeral_server() -> Server {
+    Server::bind(ServerConfig {
+        bind: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral loopback port")
+}
+
+fn test_config_text() -> String {
+    ssdx_core::SsdConfig::builder("loopback")
+        .topology(2, 2, 1)
+        .seed(3)
+        .build()
+        .expect("valid test config")
+        .to_text()
+}
+
+fn test_spec() -> WorkloadSpec {
+    WorkloadSpec::Basic {
+        pattern: AccessPattern::RandomWrite,
+        block_size: 4096,
+        command_count: 256,
+        footprint_bytes: 1 << 24,
+        seed: 21,
+    }
+}
+
+/// The same config + spec run entirely in-process, for byte-identity
+/// comparisons against server-side runs.
+fn in_process_report() -> ssdx_core::PerfReport {
+    let config = ssdx_core::SsdConfig::from_text(&test_config_text()).expect("round-trip config");
+    let source = test_spec().build().expect("valid test spec");
+    let mut ssd = ssdx_core::Ssd::try_new(config).expect("valid test device");
+    ssd.simulate(source.as_ref())
+}
+
+#[test]
+fn remote_report_is_byte_identical_to_in_process() {
+    let server = ephemeral_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let session = client
+        .create_session(&test_config_text(), &test_spec())
+        .expect("create");
+    let remote = client.fetch_report(session).expect("fetch report");
+    assert_eq!(
+        format!("{remote:?}"),
+        format!("{:?}", in_process_report()),
+        "remote report must be byte-identical to the in-process run"
+    );
+    client.close_session(session).expect("close");
+    client.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+}
+
+#[test]
+fn slicing_a_run_into_steps_does_not_change_the_report() {
+    let server = ephemeral_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let session = client
+        .create_session(&test_config_text(), &test_spec())
+        .expect("create");
+    // Advance in ragged slices: counted steps, then a deadline, then
+    // more steps — the report must not care.
+    let p = client.step(session, 17).expect("step");
+    assert_eq!(p.completed, 17);
+    let p = client
+        .run_until(session, p.now + SimTime::from_us(50))
+        .expect("run_until");
+    assert!(p.completed >= 17);
+    client.step(session, 3).expect("step");
+    let remote = client.fetch_report(session).expect("fetch report");
+    assert_eq!(
+        format!("{remote:?}"),
+        format!("{:?}", in_process_report()),
+        "stepping must not perturb the final report"
+    );
+    client.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+}
+
+#[test]
+fn a_fork_reports_identically_to_its_parent() {
+    let server = ephemeral_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let parent = client
+        .create_session(&test_config_text(), &test_spec())
+        .expect("create");
+    client.step(parent, 40).expect("advance the parent first");
+    let child = client.fork(parent).expect("fork");
+    assert_ne!(parent, child);
+    let parent_report = client.fetch_report(parent).expect("parent report");
+    let child_report = client.fetch_report(child).expect("child report");
+    assert_eq!(
+        format!("{parent_report:?}"),
+        format!("{child_report:?}"),
+        "a fork must finish exactly like its parent"
+    );
+    client.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+}
+
+#[test]
+fn captured_snapshots_parse_as_snapshot_images() {
+    let server = ephemeral_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let session = client
+        .create_session(&test_config_text(), &test_spec())
+        .expect("create");
+    client.step(session, 10).expect("step");
+    let image = client.capture_snapshot(session).expect("capture");
+    let snapshot = ssdx_core::Snapshot::from_bytes(&image).expect("the image is a valid snapshot");
+    assert_eq!(snapshot.version(), ssdx_core::SNAPSHOT_VERSION);
+    client.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+}
+
+#[test]
+fn subscribed_telemetry_streams_completions_and_utilization() {
+    let server = ephemeral_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let session = client
+        .create_session(&test_config_text(), &test_spec())
+        .expect("create");
+    client.subscribe(session, 8).expect("subscribe");
+    let progress = client.step(session, 32).expect("step");
+    assert_eq!(progress.executed, 32);
+    // Collect everything already in flight, then poll for the rest.
+    let mut completions = Vec::new();
+    let mut utilization = 0usize;
+    for t in client.take_telemetry() {
+        client_push(t, session, &mut completions, &mut utilization);
+    }
+    while let Some(t) = client
+        .poll_telemetry(Duration::from_millis(200))
+        .expect("poll telemetry")
+    {
+        client_push(t, session, &mut completions, &mut utilization);
+        if completions.len() >= 32 && utilization >= 4 {
+            break;
+        }
+    }
+    assert_eq!(completions.len(), 32, "one completion event per command");
+    assert_eq!(
+        completions,
+        (0..32).collect::<Vec<u64>>(),
+        "completion indices arrive in order"
+    );
+    assert_eq!(
+        utilization, 4,
+        "a utilization sample every 8 completions over 32 commands"
+    );
+    client.unsubscribe(session).expect("unsubscribe");
+    client.step(session, 8).expect("step");
+    assert!(
+        client.take_telemetry().is_empty(),
+        "no telemetry after unsubscribe"
+    );
+    client.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+}
+
+fn client_push(t: Telemetry, session: u32, completions: &mut Vec<u64>, utilization: &mut usize) {
+    match t {
+        Telemetry::Completion { session: s, record } => {
+            assert_eq!(s, session);
+            completions.push(record.index);
+        }
+        Telemetry::Utilization { session: s, .. } => {
+            assert_eq!(s, session);
+            *utilization += 1;
+        }
+        Telemetry::Dropped { .. } => {}
+    }
+}
+
+#[test]
+fn server_side_errors_are_replies_not_disconnects() {
+    let server = ephemeral_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // Unknown session.
+    match client.step(999, 1) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("expected an unknown-session error, got {other:?}"),
+    }
+    // Bad config text.
+    match client.create_session("channels = 0\n", &test_spec()) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadConfig),
+        other => panic!("expected a bad-config error, got {other:?}"),
+    }
+    // Bad workload parameters.
+    let bad = WorkloadSpec::Zipfian {
+        theta: 1.5,
+        seed: 1,
+        command_count: 16,
+        block_size: 4096,
+        footprint_bytes: 1 << 20,
+        read_fraction: 0.5,
+    };
+    match client.create_session(&test_config_text(), &bad) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadWorkload),
+        other => panic!("expected a bad-workload error, got {other:?}"),
+    }
+    // The connection survived all three rejections.
+    let session = client
+        .create_session(&test_config_text(), &test_spec())
+        .expect("the connection still works");
+    client.close_session(session).expect("close");
+    client.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+}
+
+#[test]
+fn loadgen_sustains_two_hundred_concurrent_sessions_with_zero_loss() {
+    let server = ephemeral_server();
+    let mut cfg = LoadgenConfig::new(server.local_addr().to_string());
+    cfg.sessions = 200;
+    cfg.connections = 8;
+    cfg.rounds = 1;
+    let report = ssdx_server::load::run(&cfg).expect("the load run succeeds");
+    assert_eq!(report.sessions, 200);
+    assert_eq!(
+        report.requests, report.replies,
+        "zero control-message loss under load"
+    );
+    assert!(report.commands > 0, "the fleet simulated real commands");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+}
+
+#[test]
+fn shutdown_drains_other_connections_with_a_broadcast() {
+    let server = ephemeral_server();
+    let mut bystander = Client::connect(server.local_addr()).expect("connect bystander");
+    let session = bystander
+        .create_session(&test_config_text(), &test_spec())
+        .expect("create");
+    bystander.step(session, 5).expect("step");
+    let mut closer = Client::connect(server.local_addr()).expect("connect closer");
+    closer.shutdown_server().expect("shutdown");
+    server.wait().expect("clean exit");
+    // The bystander's next request cannot be served, but the broadcast
+    // and socket close must surface as a clean error, not a hang.
+    if let Ok(progress) = bystander.step(session, 1) {
+        panic!("stepped a drained server: {progress:?}");
+    }
+}
