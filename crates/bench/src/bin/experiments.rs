@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of the SSDExplorer paper's evaluation.
 //!
-//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|speed|speedup|tails|tables]`.
+//! Run with `cargo run --release -p ssdx-bench --bin experiments -- [all|fig2|fig3|fig4|fig5|fig6|speed|speedup|tails|faults|tables]`.
 //! Results are printed as aligned text tables; every section renders into
 //! one shared `fmt::Write` buffer that is printed (and reused) per section,
 //! so table formatting never allocates a `String` per cell.
@@ -12,6 +12,14 @@
 //! warmup. The output is fully deterministic (`--json` emits the
 //! machine-readable form, `--warm-start` forks each run from a per-workload
 //! warmup snapshot and prints byte-identical results).
+//!
+//! The `faults` subcommand runs the degraded-device campaign: five
+//! fault/aging axes (artificial endurance aging, read-disturb growth,
+//! retention error scaling, block retirement, mid-GC power loss with
+//! recovery replay), each swept on a page-mapped steady-state platform and
+//! reported as per-class tail percentiles. Same flags as `tails`: `--json`
+//! emits the machine-readable form, `--warm-start` forks every scenario
+//! from a warmup snapshot, and the output is byte-identical either way.
 //!
 //! The `speed` subcommand is the simulation-speed measurement suite:
 //!
@@ -26,8 +34,8 @@
 
 use ssdx_core::configs::{fig5_config, ocz_vertex_like, table2_configs, table3_configs};
 use ssdx_core::{
-    explorer, metrics, speed, CachePolicy, HostInterfaceConfig, ParallelExecutor, SpeedBaseline,
-    Ssd, SsdConfig, SteadyStateCutoff,
+    explorer, faults, metrics, speed, CachePolicy, HostInterfaceConfig, ParallelExecutor,
+    SpeedBaseline, Ssd, SsdConfig, SteadyStateCutoff,
 };
 use ssdx_ecc::EccScheme;
 use ssdx_hostif::{AccessPattern, Workload};
@@ -340,6 +348,57 @@ fn tails_suite(args: &[String]) -> i32 {
     0
 }
 
+/// Commands per scenario in the fault-injection campaign.
+const FAULT_COMMANDS: u64 = 2_048;
+
+/// Builds the degraded-device campaign on the canonical steady-state
+/// platform: one eighth of each stream is trimmed as warmup. With `warm`
+/// every scenario forks from a captured warmup snapshot — byte-identical
+/// output by the fork-equivalence contract, which `faults --warm-start`
+/// exists to demonstrate.
+fn fault_study(warm: bool) -> ssdx_core::FaultStudy {
+    let base = steady_state(table2_configs().remove(5));
+    let warmup = SteadyStateCutoff::Commands(FAULT_COMMANDS / 8);
+    let study = if warm {
+        faults::fault_campaign_warm(&base, FAULT_COMMANDS, warmup)
+    } else {
+        faults::fault_campaign(&base, FAULT_COMMANDS, warmup)
+    };
+    study.expect("the table II configuration validates")
+}
+
+fn fault_scenarios(out: &mut String) {
+    section(
+        out,
+        "Fault injection — degraded-device scenarios, steady-state percentiles per class",
+    );
+    let study = fault_study(false);
+    let _ = writeln!(
+        out,
+        "{} commands per scenario, first {} trimmed as warmup\n",
+        FAULT_COMMANDS,
+        FAULT_COMMANDS / 8
+    );
+    out.push_str(&study.to_table());
+    let _ = writeln!(out);
+}
+
+/// The faults suite: print the scenario percentile table, or emit JSON
+/// with `--json`. `--warm-start` forks every scenario from a warmup
+/// snapshot instead of replaying the warmup; the output is byte-identical
+/// either way. Deterministic — two runs print identical bytes.
+fn faults_suite(args: &[String]) -> i32 {
+    let study = fault_study(args.iter().any(|a| a == "--warm-start"));
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", study.to_json());
+    } else {
+        let mut out = String::new();
+        fault_scenarios(&mut out);
+        print!("{out}");
+    }
+    0
+}
+
 fn cache_policy_note(out: &mut String) {
     // Small sanity print showing the two DRAM-buffer policies side by side on
     // the default platform, mirroring the discussion in Section IV-A.
@@ -445,6 +504,7 @@ fn main() {
         "speed" => std::process::exit(speed_suite(&args[1..])),
         "speedup" => parallel_speedup(&mut out),
         "tails" => std::process::exit(tails_suite(&args[1..])),
+        "faults" => std::process::exit(faults_suite(&args[1..])),
         "tables" => {
             print_table2(&mut out);
             print_table3(&mut out);
@@ -453,13 +513,14 @@ fn main() {
         _ => {
             // Full run: flush the shared buffer after each section so the
             // output streams while the later (long) experiments still run.
-            let sections: [fn(&mut String); 9] = [
+            let sections: [fn(&mut String); 10] = [
                 print_table2,
                 fig2_validation,
                 fig3_sata_sweep,
                 fig4_pcie_sweep,
                 fig5_wearout,
                 tail_latency,
+                fault_scenarios,
                 print_table3,
                 fig6_simulation_speed,
                 parallel_speedup,

@@ -187,6 +187,17 @@ impl ChannelController {
         }
     }
 
+    /// Installs a degraded-device error profile (`read_disturb` extra raw
+    /// errors per accumulated block read, `retention_scale` multiplier on
+    /// the wear-model RBER) on every die of the channel.
+    pub fn set_fault_profile(&mut self, read_disturb: f64, retention_scale: f64) {
+        for way in &mut self.dies {
+            for die in way {
+                die.set_fault_profile(read_disturb, retention_scale);
+            }
+        }
+    }
+
     /// The earliest instant at which the die `(way, die)` is ready.
     ///
     /// # Errors
@@ -533,6 +544,24 @@ mod tests {
         for way in 0..2 {
             for die in 0..2 {
                 assert_eq!(c.die(way, die).unwrap().block_pe_cycles(addr(0, 0)), 3_000);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_profile_propagates_to_all_dies() {
+        let mut c = controller(GangMode::SharedBus);
+        c.set_fault_profile(0.5, 2.0);
+        c.age_all(1_000);
+        let baseline = {
+            let mut plain = controller(GangMode::SharedBus);
+            plain.age_all(1_000);
+            plain.die(0, 0).unwrap().expected_raw_errors(addr(0, 0))
+        };
+        for way in 0..2 {
+            for die in 0..2 {
+                let got = c.die(way, die).unwrap().expected_raw_errors(addr(0, 0));
+                assert_eq!(got, baseline * 2.0);
             }
         }
     }

@@ -134,6 +134,57 @@ impl CompressorConfig {
     }
 }
 
+/// Degraded-device fault injection knobs.
+///
+/// All knobs default to "healthy device"; each one is an independent fault
+/// source that the reliability campaign sweeps as an [`crate::Explorer`]
+/// axis. They are construction parameters of the platform — none of them is
+/// snapshot state, so enabling them changes neither the snapshot byte layout
+/// nor the platform signature, and forked runs inherit them through the
+/// configuration they were built with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Expected extra raw bit errors a page read accumulates per prior read
+    /// of its block (read-disturb). `0.0` disables the mechanism.
+    pub read_disturb_per_read: f64,
+    /// Multiplier on the wear-model RBER modelling retention loss (`1.0` is
+    /// nominal; larger values model long power-off intervals at
+    /// temperature).
+    pub retention_scale: f64,
+    /// P/E-cycle budget after which an erased block is retired instead of
+    /// returning to the free pool (page-mapped FTL only). `u64::MAX`
+    /// disables retirement.
+    pub retire_pe_limit: u64,
+    /// Command index after which a power loss is injected: the FTL's
+    /// volatile state is dropped mid-garbage-collection and rebuilt by the
+    /// recovery replay (page-mapped FTL only). `u64::MAX` disables the
+    /// fault.
+    pub power_loss_at: u64,
+}
+
+impl FaultConfig {
+    /// The healthy-device profile: every fault source disabled.
+    pub fn healthy() -> Self {
+        FaultConfig {
+            read_disturb_per_read: 0.0,
+            retention_scale: 1.0,
+            retire_pe_limit: u64::MAX,
+            power_loss_at: u64::MAX,
+        }
+    }
+
+    /// True when no fault source is enabled (the default profile).
+    pub fn is_healthy(&self) -> bool {
+        *self == FaultConfig::healthy()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::healthy()
+    }
+}
+
 /// Errors produced while building or parsing a configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -215,6 +266,8 @@ pub struct SsdConfig {
     pub dram_timings: DdrTimings,
     /// Deterministic simulation seed.
     pub seed: u64,
+    /// Degraded-device fault injection knobs (healthy by default).
+    pub faults: FaultConfig,
 }
 
 impl SsdConfig {
@@ -310,6 +363,31 @@ impl SsdConfig {
             FtlMode::WafAbstraction => "waf",
             FtlMode::PageMapped => "page-mapped",
         };
+        // Fault keys are emitted only when they deviate from the healthy
+        // profile (like `queue_depth`, which is parsed but never emitted for
+        // the default), keeping healthy-device files byte-stable.
+        let mut faults = String::new();
+        if self.faults.read_disturb_per_read != 0.0 {
+            faults.push_str(&format!(
+                "read_disturb = {}\n",
+                self.faults.read_disturb_per_read
+            ));
+        }
+        if self.faults.retention_scale != 1.0 {
+            faults.push_str(&format!(
+                "retention_scale = {}\n",
+                self.faults.retention_scale
+            ));
+        }
+        if self.faults.retire_pe_limit != u64::MAX {
+            faults.push_str(&format!(
+                "retire_pe_limit = {}\n",
+                self.faults.retire_pe_limit
+            ));
+        }
+        if self.faults.power_loss_at != u64::MAX {
+            faults.push_str(&format!("power_loss_at = {}\n", self.faults.power_loss_at));
+        }
         format!(
             "# SSDExplorer platform configuration\n\
              name = {}\n\
@@ -326,7 +404,7 @@ impl SsdConfig {
              cpu_cores = {}\n\
              gang = {}\n\
              over_provisioning = {}\n\
-             seed = {}\n",
+             seed = {}\n{}",
             self.name,
             self.channels,
             self.ways,
@@ -342,6 +420,7 @@ impl SsdConfig {
             gang,
             self.waf.over_provisioning,
             self.seed,
+            faults,
         )
     }
 
@@ -444,6 +523,26 @@ impl SsdConfig {
                     builder.over_provisioning = op;
                 }
                 "seed" => builder.seed = value.parse().map_err(|_| bad())?,
+                "read_disturb" => {
+                    let v: f64 = value.parse().map_err(|_| bad())?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(bad());
+                    }
+                    builder.faults.read_disturb_per_read = v;
+                }
+                "retention_scale" => {
+                    let v: f64 = value.parse().map_err(|_| bad())?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(bad());
+                    }
+                    builder.faults.retention_scale = v;
+                }
+                "retire_pe_limit" => {
+                    builder.faults.retire_pe_limit = value.parse().map_err(|_| bad())?
+                }
+                "power_loss_at" => {
+                    builder.faults.power_loss_at = value.parse().map_err(|_| bad())?
+                }
                 other => return Err(ConfigError::UnknownKey(other.to_string())),
             }
         }
@@ -484,6 +583,7 @@ pub struct SsdConfigBuilder {
     gang: GangMode,
     dram_timings: DdrTimings,
     seed: u64,
+    faults: FaultConfig,
 }
 
 impl SsdConfigBuilder {
@@ -516,6 +616,7 @@ impl SsdConfigBuilder {
             gang: GangMode::SharedBus,
             dram_timings: DdrTimings::ddr2_800(),
             seed: 0x55DE,
+            faults: FaultConfig::healthy(),
         }
     }
 
@@ -635,6 +736,12 @@ impl SsdConfigBuilder {
         self
     }
 
+    /// Installs a degraded-device fault profile.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Errors
@@ -667,6 +774,7 @@ impl SsdConfigBuilder {
             gang: self.gang,
             dram_timings: self.dram_timings,
             seed: self.seed,
+            faults: self.faults,
         };
         config.validate()?;
         Ok(config)
@@ -809,6 +917,54 @@ mod tests {
         assert_eq!(parsed.gang, GangMode::SharedControl);
         assert_eq!(parsed.ecc.name(), "adaptive-bch");
         assert_eq!(parsed.seed, 77);
+    }
+
+    #[test]
+    fn fault_keys_round_trip_and_default_stays_silent() {
+        // Healthy profile: no fault keys in the text form, parses healthy.
+        let healthy = SsdConfig::default();
+        assert!(healthy.faults.is_healthy());
+        let text = healthy.to_text();
+        for key in [
+            "read_disturb",
+            "retention_scale",
+            "retire_pe_limit",
+            "power_loss_at",
+        ] {
+            assert!(!text.contains(key), "healthy config leaked `{key}`");
+        }
+        assert!(SsdConfig::from_text(&text).unwrap().faults.is_healthy());
+
+        // Degraded profile round-trips through the text format.
+        let degraded = SsdConfig::builder("aged")
+            .faults(FaultConfig {
+                read_disturb_per_read: 0.125,
+                retention_scale: 2.5,
+                retire_pe_limit: 4_000,
+                power_loss_at: 777,
+            })
+            .build()
+            .unwrap();
+        let parsed = SsdConfig::from_text(&degraded.to_text()).unwrap();
+        assert_eq!(parsed.faults, degraded.faults);
+
+        // Invalid fault values are rejected.
+        for bad in [
+            "read_disturb = -0.5\n",
+            "read_disturb = nan\n",
+            "retention_scale = 0\n",
+            "retention_scale = inf\n",
+            "retire_pe_limit = soon\n",
+            "power_loss_at = never\n",
+        ] {
+            assert!(
+                matches!(
+                    SsdConfig::from_text(bad).unwrap_err(),
+                    ConfigError::BadValue { .. }
+                ),
+                "`{bad}` should be rejected"
+            );
+        }
     }
 
     #[test]

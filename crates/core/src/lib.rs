@@ -52,6 +52,7 @@
 pub mod config;
 pub mod configs;
 pub mod explorer;
+pub mod faults;
 pub mod layout;
 pub mod metrics;
 pub mod parallel;
@@ -62,8 +63,8 @@ pub mod speed;
 pub mod ssd;
 
 pub use config::{
-    CachePolicy, CompressorConfig, ConfigError, FtlMode, HostInterfaceConfig, SsdConfig,
-    SsdConfigBuilder,
+    CachePolicy, CompressorConfig, ConfigError, FaultConfig, FtlMode, HostInterfaceConfig,
+    SsdConfig, SsdConfigBuilder,
 };
 pub use explorer::{
     endurance_axis, host_interface_study, wearout_study, Axis, AxisValue, Explorer, HostSweep,
@@ -71,6 +72,10 @@ pub use explorer::{
 };
 #[allow(deprecated)]
 pub use explorer::{sweep_host_interface, wearout_sweep};
+pub use faults::{
+    fault_campaign, fault_campaign_warm, power_loss_axis, read_disturb_axis, retention_axis,
+    retirement_axis, FaultStudy,
+};
 pub use layout::{PageAllocator, PageTarget};
 pub use metrics::{
     tail_latency_study, tail_latency_study_warm, ClassHistograms, CommandClass, LatencyHistogram,

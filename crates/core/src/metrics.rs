@@ -685,8 +685,9 @@ impl TailStudy {
 
 /// Appends `s` to `out` with JSON string escaping (quotes, backslashes and
 /// control characters) — labels are caller-chosen and must not be able to
-/// break the emitted document.
-fn push_json_escaped(out: &mut String, s: &str) {
+/// break the emitted document. Shared with the fault campaign's JSON
+/// emission ([`crate::faults::FaultStudy::to_json`]).
+pub(crate) fn push_json_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -269,11 +269,14 @@ impl<'a> SimSession<'a> {
                 .ceil() as u32)
                 .max(8)
                 + 8;
-            Some(PageMappedFtl::new(
-                blocks,
-                ssd.config().nand.geometry.pages_per_block,
-                ssd.config().waf.over_provisioning,
-            ))
+            Some(
+                PageMappedFtl::new(
+                    blocks,
+                    ssd.config().nand.geometry.pages_per_block,
+                    ssd.config().waf.over_provisioning,
+                )
+                .with_retire_limit(ssd.config().faults.retire_pe_limit),
+            )
         } else {
             None
         };
@@ -557,6 +560,16 @@ impl<'a> SimSession<'a> {
 
         let (admitted_at, completed_at) = self.execute(&cmd);
 
+        // Deterministic power-loss injection: once the configured number of
+        // commands has completed, the FTL's volatile state is dropped
+        // mid-garbage-collection and rebuilt by the recovery replay. The
+        // trigger is the monotonic command index — already captured by the
+        // snapshot cursor — so the fault fires exactly once and identically
+        // on warm-started and forked runs.
+        if index + 1 == self.ssd.config().faults.power_loss_at {
+            self.inject_power_loss(completed_at);
+        }
+
         self.window.push(Reverse(completed_at));
         self.latency
             .record(completed_at.saturating_sub(admitted_at));
@@ -587,6 +600,29 @@ impl<'a> SimSession<'a> {
             }
         }
         Some(record)
+    }
+
+    /// Cuts power mid-garbage-collection and replays the recovery. The
+    /// collector is interrupted half-way through a victim block (pages
+    /// relocated, erase never issued), the volatile FTL state — mapping
+    /// table, free pool, open blocks — is discarded, and everything is
+    /// rebuilt from the out-of-band journal. The rebuild is charged to the
+    /// firmware CPU as one scan task per recovered block's worth of live
+    /// mappings, so the outage shows up in the latency of the commands that
+    /// follow. No-op in [`FtlMode::Waf`] mode, where no real mapping exists.
+    fn inject_power_loss(&mut self, at: SimTime) {
+        let pages_per_block = self.ssd.config().nand.geometry.pages_per_block;
+        let Some(f) = self.ftl.as_mut() else {
+            return;
+        };
+        f.interrupt_reclaim((pages_per_block / 2).max(1));
+        let live = f.recover_from_power_loss();
+        let scan_tasks = 1 + live / pages_per_block.max(1) as u64;
+        let mut cursor = at;
+        for _ in 0..scan_tasks {
+            cursor = self.ssd.cpus[0].execute_command_overhead(cursor).end;
+        }
+        self.last_completion = self.last_completion.max(cursor);
     }
 
     /// Steps until the stream is exhausted or the simulated clock

@@ -233,7 +233,9 @@ pub const STATE_INVENTORY: &[StateInventoryEntry] = &[
     StateInventoryEntry {
         crate_name: "ssdx-nand",
         carrier: Some("NandDie"),
-        notes: "array resource, per-block wear map, op counters, RNG",
+        notes: "array resource, per-block wear map, op counters, RNG; the \
+                fault profile (read-disturb rate, retention scale) is \
+                config-derived and never serialised",
     },
     StateInventoryEntry {
         crate_name: "ssdx-dram",
@@ -275,12 +277,16 @@ pub const STATE_INVENTORY: &[StateInventoryEntry] = &[
     StateInventoryEntry {
         crate_name: "ssdx-ftl",
         carrier: Some("PageMappedFtl"),
-        notes: "L2P map, per-block metadata, free pool, GC counters",
+        notes: "L2P map, per-block metadata, free pool, GC counters; the \
+                retirement limit is config-derived and retirement itself \
+                rebuilds from the encoded per-block erase counts",
     },
     StateInventoryEntry {
         crate_name: "ssdx-core",
         carrier: Some("Ssd / SimSession / PageAllocator / ClassHistograms"),
-        notes: "platform assembly, allocator cursors, in-flight session state",
+        notes: "platform assembly, allocator cursors, in-flight session \
+                state; the fault schedule is config and its power-loss \
+                trigger keys on the encoded command cursor",
     },
     StateInventoryEntry {
         crate_name: "ssdx-bench",

@@ -104,7 +104,16 @@ impl Ssd {
             .with_gang(config.gang)
             .with_onfi(OnfiBus::new(config.onfi_speed));
         let channels = (0..config.channels)
-            .map(|c| ChannelController::new(c, channel_cfg, config.nand, config.seed))
+            .map(|c| {
+                let mut ch = ChannelController::new(c, channel_cfg, config.nand, config.seed);
+                if !config.faults.is_healthy() {
+                    ch.set_fault_profile(
+                        config.faults.read_disturb_per_read,
+                        config.faults.retention_scale,
+                    );
+                }
+                ch
+            })
             .collect();
         let ecc_encoders = (0..config.channels)
             .map(|c| Resource::new(format!("ecc-enc-{c}")))

@@ -172,6 +172,11 @@ pub struct PageMappedFtl {
     logical_pages: u64,
     gc_threshold: usize,
     wear_level_threshold: u64,
+    /// P/E-cycle budget after which an erased block is retired instead of
+    /// re-entering the free pool (`u64::MAX` disables retirement). A
+    /// construction parameter, not snapshot state: retirement itself is
+    /// observable through free-pool membership, which is encoded.
+    retire_limit: u64,
     stats: FtlStats,
 }
 
@@ -202,6 +207,7 @@ impl PageMappedFtl {
         let gc_threshold = 2.max(blocks as usize / 32);
         PageMappedFtl {
             wear_level_threshold: 16,
+            retire_limit: u64::MAX,
             pages_per_block,
             blocks,
             l2p: vec![UNMAPPED; logical_pages as usize],
@@ -218,6 +224,43 @@ impl PageMappedFtl {
             gc_threshold,
             stats: FtlStats::default(),
         }
+    }
+
+    /// Sets the P/E-cycle budget after which an erased block is retired
+    /// instead of returning to the free pool. `u64::MAX` (the default)
+    /// disables retirement. Like the geometry, this is a construction
+    /// parameter: set it before driving traffic, and build forks with the
+    /// same limit.
+    pub fn set_retire_limit(&mut self, limit: u64) {
+        self.retire_limit = limit;
+    }
+
+    /// Builder-style variant of [`set_retire_limit`](Self::set_retire_limit).
+    #[must_use]
+    pub fn with_retire_limit(mut self, limit: u64) -> Self {
+        self.retire_limit = limit;
+        self
+    }
+
+    /// Configured retirement P/E budget (`u64::MAX` when disabled).
+    pub fn retire_limit(&self) -> u64 {
+        self.retire_limit
+    }
+
+    /// Number of blocks currently retired: fully erased, at or past the
+    /// retirement budget, and permanently out of the free pool. Derived from
+    /// encoded state (erase counts + pool membership), so it needs no
+    /// snapshot field of its own.
+    pub fn retired_block_count(&self) -> u32 {
+        (0..self.blocks)
+            .filter(|&b| {
+                b != self.open_block
+                    && b != self.gc_open_block
+                    && !self.free_mask.contains(b)
+                    && self.write_ptr[b as usize] == 0
+                    && self.erase_count[b as usize] >= self.retire_limit
+            })
+            .count() as u32
     }
 
     /// Number of logical pages exported to the host.
@@ -464,7 +507,10 @@ impl PageMappedFtl {
             self.stats.gc_relocations += 1;
         }
         self.reloc_buf = reloc;
-        // Erase the victim and return it to the free pool.
+        // Erase the victim and return it to the free pool — unless the erase
+        // exhausted its retirement budget, in which case the block is
+        // permanently withdrawn (spare-area exhaustion shows up as a
+        // shrinking pool and, eventually, OutOfSpace).
         let erase_base = self.pack(victim, 0) as usize;
         let erase_end = erase_base + self.pages_per_block as usize;
         self.page_lpn[erase_base..erase_end].fill(PAGE_FREE);
@@ -472,9 +518,157 @@ impl PageMappedFtl {
         self.valid[victim as usize] = 0;
         self.erase_count[victim as usize] += 1;
         self.stats.erases += 1;
-        self.free_blocks.push(victim);
-        self.free_mask.set(victim);
+        if self.erase_count[victim as usize] < self.retire_limit {
+            self.free_blocks.push(victim);
+            self.free_mask.set(victim);
+        }
         Ok(moved)
+    }
+
+    /// Starts collecting the current greedy victim but stops after
+    /// relocating at most `limit_pages` of its valid pages, leaving the
+    /// victim half-evacuated and **not** erased. This manufactures a genuine
+    /// mid-garbage-collection state for power-loss experiments: relocated
+    /// pages live in the GC open block with their old copies marked invalid
+    /// in the victim, while the remaining valid pages still live in the
+    /// victim. Returns the number of pages relocated (0 when no block is
+    /// worth collecting or the pool cannot supply a GC block).
+    pub fn interrupt_reclaim(&mut self, limit_pages: u32) -> u64 {
+        // Victim selection mirrors collect_one_victim (last maximum of the
+        // invalid count over full, non-open, non-free blocks).
+        let mut victim: Option<(u32, u32)> = None;
+        for blk in 0..self.blocks {
+            if blk == self.open_block
+                || blk == self.gc_open_block
+                || self.free_mask.contains(blk)
+                || !self.is_full(blk)
+            {
+                continue;
+            }
+            let inv = self.invalid_count(blk);
+            match victim {
+                Some((_, best)) if inv < best => {}
+                _ => victim = Some((blk, inv)),
+            }
+        }
+        let Some((victim, _)) = victim else {
+            return 0;
+        };
+        let base = self.pack(victim, 0) as usize;
+        let end = base + self.write_ptr[victim as usize] as usize;
+        let mut reloc = std::mem::take(&mut self.reloc_buf);
+        reloc.clear();
+        reloc.extend(
+            self.page_lpn[base..end]
+                .iter()
+                .copied()
+                .filter(|&lpn| lpn != PAGE_FREE && lpn != PAGE_INVALID)
+                .take(limit_pages as usize),
+        );
+        let mut moved = 0u64;
+        for &lpn in &reloc {
+            if self.is_full(self.gc_open_block) {
+                match self.take_free_block() {
+                    Ok(b) => self.gc_open_block = b,
+                    Err(FtlError::OutOfSpace | FtlError::LbaOutOfRange) => break,
+                }
+            }
+            self.invalidate(lpn);
+            self.raw_append_to(self.gc_open_block, lpn);
+            self.stats.gc_relocations += 1;
+            moved += 1;
+        }
+        self.reloc_buf = reloc;
+        moved
+    }
+
+    /// Rebuilds the FTL after a power loss, treating the per-physical-page
+    /// LPN table (the out-of-band/journal metadata a real FTL persists with
+    /// each program) and the per-block erase counts as the only surviving
+    /// state. Everything volatile — the L2P table, per-block valid counts
+    /// and write pointers, the free pool and the open blocks — is
+    /// reconstructed deterministically from that journal:
+    ///
+    /// * the L2P table is rebuilt from live reverse-map entries (each LPN is
+    ///   live in at most one physical page, so the scan order is immaterial);
+    /// * write pointers and valid counts are recounted per block;
+    /// * the free pool is rebuilt in ascending block order from fully-erased
+    ///   blocks that are still within the retirement budget;
+    /// * fresh host and GC open blocks are taken from the rebuilt pool; when
+    ///   the pool cannot supply both, the partially-programmed blocks with
+    ///   the largest unwritten tails are reopened instead (the journal
+    ///   replay certifies their append point), so the device never wedges
+    ///   with reclaimable space behind a full GC block;
+    /// * every remaining partially-programmed block is **closed** — its
+    ///   unwritten tail is accounted as reclaimable space and the block
+    ///   becomes an ordinary garbage-collection candidate.
+    ///
+    /// Statistics are modelled as persisted. Returns the number of live
+    /// logical mappings recovered. The rebuild is a pure function of state
+    /// that the snapshot codec already encodes, so recovery on a forked
+    /// session is byte-identical to recovery on the continuous one.
+    pub fn recover_from_power_loss(&mut self) -> u64 {
+        for slot in &mut self.l2p {
+            *slot = UNMAPPED;
+        }
+        let mut live = 0u64;
+        for blk in 0..self.blocks {
+            let base = self.pack(blk, 0) as usize;
+            let mut wp = 0u32;
+            let mut valid = 0u32;
+            for page in 0..self.pages_per_block {
+                let lpn = self.page_lpn[base + page as usize];
+                if lpn == PAGE_FREE {
+                    continue;
+                }
+                wp = page + 1;
+                if lpn != PAGE_INVALID {
+                    valid += 1;
+                    live += 1;
+                    self.l2p[lpn as usize] = self.pack(blk, page);
+                }
+            }
+            self.write_ptr[blk as usize] = wp;
+            self.valid[blk as usize] = valid;
+        }
+        self.free_blocks.clear();
+        self.free_mask = BlockBitset::new(self.blocks);
+        for blk in 0..self.blocks {
+            if self.write_ptr[blk as usize] == 0
+                && self.erase_count[blk as usize] < self.retire_limit
+            {
+                self.free_blocks.push(blk);
+                self.free_mask.set(blk);
+            }
+        }
+        // Partially-programmed blocks, most unwritten tail first (ties to
+        // the lowest index): candidates for reopening when the pool runs
+        // short.
+        let mut partials: Vec<u32> = (0..self.blocks)
+            .filter(|&b| {
+                let wp = self.write_ptr[b as usize];
+                wp > 0 && wp < self.pages_per_block
+            })
+            .collect();
+        partials.sort_by_key(|&b| (self.write_ptr[b as usize], b));
+        let mut partials = partials.into_iter();
+        let (old_open, old_gc) = (self.open_block, self.gc_open_block);
+        self.open_block = match self.take_free_block() {
+            Ok(b) => b,
+            Err(_) => partials.next().unwrap_or(old_open),
+        };
+        self.gc_open_block = match self.take_free_block() {
+            Ok(b) => b,
+            Err(_) => partials.next().unwrap_or(old_gc),
+        };
+        // Close every partial block that was not reopened: the unwritten
+        // tail pages stay PAGE_FREE (reclaim filters them out) but count as
+        // invalid space, so the collector can recover them.
+        for blk in partials {
+            self.write_ptr[blk as usize] = self.pages_per_block;
+        }
+        self.reloc_buf.clear();
+        live
     }
 
     /// Writes one logical page, returning its new physical location.
@@ -785,5 +979,117 @@ mod tests {
     #[should_panic(expected = "over-provisioning must be positive")]
     fn zero_op_rejected() {
         let _ = PageMappedFtl::new(8, 8, 0.0);
+    }
+
+    #[test]
+    fn retirement_shrinks_the_free_pool() {
+        let mut ftl = small_ftl().with_retire_limit(2);
+        assert_eq!(ftl.retire_limit(), 2);
+        assert_eq!(ftl.retired_block_count(), 0);
+        for lpn in 0..ftl.logical_pages() {
+            ftl.write(lpn).unwrap();
+        }
+        let mut rng = ssdx_sim::rng::SimRng::new(99);
+        let mut failed = false;
+        for _ in 0..60_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            if ftl.write(lpn).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(ftl.retired_block_count() > 0, "no block ever retired");
+        // No retired block may sit in the free pool.
+        for b in 0..ftl.physical_blocks() {
+            if ftl.erase_count_of(b) >= 2 {
+                assert!(!ftl.is_free_block(b), "retired block {b} still in pool");
+            }
+        }
+        // A 2-erase budget under sustained random overwrites must exhaust
+        // the spares eventually.
+        assert!(failed, "spare exhaustion never produced OutOfSpace");
+    }
+
+    #[test]
+    fn last_spare_block_retirement_reports_out_of_space() {
+        // Retire on the very first erase: the pool can only shrink, and the
+        // device dies as soon as GC cannot hand the collector a fresh block.
+        let mut ftl = PageMappedFtl::new(8, 4, 0.30).with_retire_limit(1);
+        let mut rng = ssdx_sim::rng::SimRng::new(5);
+        let mut out_of_space = false;
+        for _ in 0..10_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            match ftl.write(lpn) {
+                Ok(_) => {}
+                Err(FtlError::OutOfSpace) => {
+                    out_of_space = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(out_of_space, "retire-on-first-erase must exhaust the pool");
+        // After exhaustion the FTL is still consistent and readable.
+        let mapped = (0..ftl.logical_pages())
+            .filter(|&lpn| ftl.lookup(lpn).is_some())
+            .count();
+        assert!(mapped > 0);
+    }
+
+    #[test]
+    fn interrupt_reclaim_leaves_victim_unerased() {
+        let mut ftl = small_ftl();
+        for lpn in 0..ftl.logical_pages() {
+            ftl.write(lpn).unwrap();
+        }
+        let mut rng = ssdx_sim::rng::SimRng::new(11);
+        for _ in 0..5_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            ftl.write(lpn).unwrap();
+        }
+        let erases_before = ftl.stats().erases;
+        let moved = ftl.interrupt_reclaim(4);
+        assert!(moved > 0 && moved <= 4, "moved {moved}");
+        // The interruption relocates but never erases.
+        assert_eq!(ftl.stats().erases, erases_before);
+    }
+
+    #[test]
+    fn recovery_preserves_logical_contents() {
+        let mut ftl = small_ftl();
+        for lpn in 0..ftl.logical_pages() {
+            ftl.write(lpn).unwrap();
+        }
+        let mut rng = ssdx_sim::rng::SimRng::new(17);
+        for _ in 0..8_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            if rng.uniform_u64(0, 9) == 0 {
+                ftl.trim(lpn).unwrap();
+            } else {
+                ftl.write(lpn).unwrap();
+            }
+        }
+        let before: Vec<Option<(u32, u32)>> =
+            (0..ftl.logical_pages()).map(|l| ftl.lookup(l)).collect();
+        ftl.interrupt_reclaim(7);
+        // Relocation moves pages, so compare against the post-interruption
+        // mapping presence (contents), not raw locations.
+        let mapped_before: Vec<bool> = (0..ftl.logical_pages())
+            .map(|l| ftl.lookup(l).is_some())
+            .collect();
+        let live = ftl.recover_from_power_loss();
+        assert_eq!(live as usize, mapped_before.iter().filter(|&&m| m).count());
+        for (lpn, (&was_mapped, old)) in mapped_before.iter().zip(before.iter()).enumerate() {
+            assert_eq!(
+                ftl.lookup(lpn as u64).is_some(),
+                was_mapped,
+                "lpn {lpn} mapping presence changed across recovery (pre-GC {old:?})"
+            );
+        }
+        // The FTL keeps working after recovery.
+        for _ in 0..2_000 {
+            let lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+            ftl.write(lpn).unwrap();
+        }
     }
 }

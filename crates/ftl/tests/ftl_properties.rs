@@ -106,6 +106,64 @@ proptest! {
     }
 
     #[test]
+    fn power_loss_recovery_loses_no_acknowledged_write(
+        ops in prop::collection::vec(op_strategy(400), 1..1_200),
+        geometry in prop::sample::select(vec![(16u32, 32u32, 0.3f64), (8, 8, 0.15), (64, 16, 0.25), (12, 64, 0.4)]),
+        gc_pages in 1u32..12,
+    ) {
+        // Differential recovery check: drive the flat FTL and the HashMap
+        // oracle with the same acknowledged command stream, then cut power
+        // mid-garbage-collection on the flat FTL only. After the recovery
+        // replay, its logical contents must equal the oracle's — i.e. the
+        // pre-loss acknowledged state: every acknowledged write is still
+        // mapped, every trimmed/never-written page is still unmapped.
+        let (blocks, pages, op) = geometry;
+        let mut flat = PageMappedFtl::new(blocks, pages, op);
+        let mut oracle = OracleFtl::new(blocks, pages, op);
+        for op in ops {
+            match op {
+                Op::Write(lpn) => {
+                    let (a, b) = (flat.write(lpn), oracle.write(lpn));
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "ack for write({}) diverged", lpn);
+                }
+                Op::Trim(lpn) => {
+                    prop_assert_eq!(flat.trim(lpn), oracle.trim(lpn));
+                }
+                Op::Read(lpn) => {
+                    prop_assert_eq!(flat.read(lpn).map(|l| l.is_some()), oracle.read(lpn).map(|l| l.is_some()));
+                }
+            }
+        }
+        // Power loss strikes while the collector is half-way through a
+        // victim; the journal (reverse map) is all that survives.
+        flat.interrupt_reclaim(gc_pages);
+        let live = flat.recover_from_power_loss();
+        let mut oracle_live = 0u64;
+        for lpn in 0..oracle.logical_pages() {
+            let expected = oracle.lookup(lpn).is_some();
+            prop_assert_eq!(
+                flat.lookup(lpn).is_some(),
+                expected,
+                "lpn {} {} across power loss", lpn,
+                if expected { "lost" } else { "resurrected" }
+            );
+            oracle_live += expected as u64;
+        }
+        prop_assert_eq!(live, oracle_live, "recovered mapping count diverged");
+        // The recovered FTL must still accept traffic and stay consistent
+        // with the oracle's logical contents.
+        for lpn in (0..flat.logical_pages().min(64)).rev() {
+            if let Err(e) = flat.write(lpn) {
+                let dump: Vec<_> = (0..flat.physical_blocks())
+                    .map(|b| (b, flat.is_free_block(b), flat.erase_count_of(b)))
+                    .collect();
+                prop_assert!(false, "write({lpn}) failed with {e}; free={} blocks={dump:?}", flat.free_block_count());
+            }
+            prop_assert!(flat.lookup(lpn).is_some());
+        }
+    }
+
+    #[test]
     fn waf_never_below_one_and_erases_follow_writes(writes in prop::collection::vec(0u64..300, 50..800) ) {
         let mut ftl = PageMappedFtl::new(16, 32, 0.3);
         let logical = ftl.logical_pages();

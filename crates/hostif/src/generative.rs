@@ -731,6 +731,26 @@ impl CommandSource for RmwWorkload {
     }
 }
 
+/// The canonical probe workload for degraded-device campaigns: a read-heavy
+/// (85 %) zipfian stream over a small, hot footprint.
+///
+/// Read-dominance makes the stream maximally sensitive to the fault axes a
+/// campaign sweeps — repeated reads of the hot set accumulate read-disturb,
+/// and every read pays the adaptive ECC's error-dependent decode latency —
+/// while the write minority still drives garbage collection, so block
+/// retirement and mid-GC power loss stay observable. The small footprint
+/// keeps mapping tables (and therefore recovery replay) cheap enough for
+/// wide sweeps.
+///
+/// Like every generative source, the stream is a pure function of `seed`.
+pub fn degraded_probe(seed: u64) -> ZipfianWorkload {
+    ZipfianWorkload::new(0.99, seed)
+        .read_fraction(0.85)
+        .footprint_bytes(64 << 20)
+        .command_count(2_048)
+        .with_label("degraded-probe")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -967,6 +987,18 @@ mod tests {
         // ran to catch it.
         let w = MixedSizeWorkload::new([(2 << 30, 1)], 0);
         let _ = w.commands();
+    }
+
+    #[test]
+    fn degraded_probe_is_read_heavy_and_deterministic() {
+        let probe = degraded_probe(7);
+        assert_eq!(probe.commands(), degraded_probe(7).commands());
+        assert_eq!(probe.label(), "degraded-probe");
+        let commands = probe.commands();
+        assert_eq!(commands.len(), 2_048);
+        let reads = commands.iter().filter(|c| c.op == HostOp::Read).count();
+        let fraction = reads as f64 / commands.len() as f64;
+        assert!((0.80..0.90).contains(&fraction), "read fraction {fraction}");
     }
 
     #[test]

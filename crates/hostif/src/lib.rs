@@ -35,7 +35,9 @@ pub mod trace;
 pub mod workload;
 
 pub use command::{HostCommand, HostOp};
-pub use generative::{BurstyWorkload, MixedSizeWorkload, RmwWorkload, ZipfianWorkload};
+pub use generative::{
+    degraded_probe, BurstyWorkload, MixedSizeWorkload, RmwWorkload, ZipfianWorkload,
+};
 pub use interface::{HostInterface, HostInterfaceKind};
 pub use nvme::{NvmeInterface, PcieGen};
 pub use sata::SataInterface;

@@ -59,9 +59,18 @@ pub struct NandDie {
     rng: SimRng,
     rng_seed: u64,
     jitter: f64,
-    /// Memoised `(pe_cycles, expected raw errors)` of the last page
+    /// Expected extra raw bit errors a page read picks up per prior read of
+    /// its block (read-disturb accumulation). Zero disables the mechanism.
+    read_disturb: f64,
+    /// Multiplier on the wear-model RBER modelling retention loss (1.0 is
+    /// nominal; >1.0 models long power-off intervals at temperature).
+    retention_scale: f64,
+    /// Memoised `(pe_cycles, base expected raw errors)` of the last page
     /// operation: sequential traffic hammers blocks at one wear level, and
-    /// the RBER curve behind this value costs a `powf` per evaluation.
+    /// the RBER curve behind this value costs a `powf` per evaluation. Only
+    /// the pe-pure part of the error model (wear RBER × retention scale) may
+    /// live here — the read-disturb term depends on the block's read count,
+    /// which advances mid-run, and is added outside the memo.
     err_memo: (u64, f64),
     /// Memoised nominal program times per page kind, keyed by the P/E count
     /// they were computed at (`(pe_cycles, duration)` per [`PageKind`]).
@@ -90,6 +99,8 @@ impl NandDie {
             rng: SimRng::new(rng_seed),
             rng_seed,
             jitter: 0.05,
+            read_disturb: 0.0,
+            retention_scale: 1.0,
             err_memo: (MEMO_EMPTY, 0.0),
             prog_memo: [(MEMO_EMPTY, SimTime::ZERO); 2],
             bers_memo: (MEMO_EMPTY, SimTime::ZERO),
@@ -128,6 +139,17 @@ impl NandDie {
         }
     }
 
+    /// Installs a degraded-device error profile: `read_disturb` expected
+    /// extra raw errors per accumulated block read, and a `retention_scale`
+    /// multiplier on the wear-model RBER. Both are construction-style
+    /// parameters (not snapshot state). The RBER memo is re-primed because
+    /// its cached value folds the retention multiplier in.
+    pub fn set_fault_profile(&mut self, read_disturb: f64, retention_scale: f64) {
+        self.read_disturb = read_disturb;
+        self.retention_scale = retention_scale;
+        self.err_memo = (MEMO_EMPTY, 0.0);
+    }
+
     /// P/E cycle count of the block containing `addr`.
     pub fn block_pe_cycles(&self, addr: PageAddr) -> u64 {
         let key = addr.flat_block(&self.config.geometry);
@@ -142,13 +164,27 @@ impl NandDie {
         self.config.wear.normalized_wear(self.block_pe_cycles(addr))
     }
 
-    /// Expected raw bit errors for one page read at the block's current wear,
-    /// over a codeword covering the full raw page (data + spare).
+    /// Expected raw bit errors for one page read at the block's current wear
+    /// and read-disturb state, over a codeword covering the full raw page
+    /// (data + spare).
     pub fn expected_raw_errors(&self, addr: PageAddr) -> f64 {
+        let key = addr.flat_block(&self.config.geometry);
+        let entry = self.wear.get(&key);
+        let pe = entry.map_or(self.baseline_pe, |w| w.pe_cycles());
+        let reads = entry.map_or(0, |w| w.reads());
+        self.page_raw_errors(pe, reads)
+    }
+
+    /// Memo-free expected raw errors for a page whose block has `pe` P/E
+    /// cycles and `reads` accumulated reads: wear-model errors scaled by the
+    /// retention multiplier, plus the linear read-disturb term. This is the
+    /// single source of truth for the error model; the memoised hot path in
+    /// [`try_execute`](Self::try_execute) must stay value-identical to it
+    /// (pinned by a regression test).
+    pub fn page_raw_errors(&self, pe: u64, reads: u64) -> f64 {
         let bits = self.config.geometry.raw_page_bytes() as u64 * 8;
-        self.config
-            .wear
-            .expected_errors(self.block_pe_cycles(addr), bits)
+        self.config.wear.expected_errors(pe, bits) * self.retention_scale
+            + self.read_disturb * reads as f64
     }
 
     /// Executes `op` on the page/block at `addr`, starting no earlier than
@@ -223,9 +259,16 @@ impl NandDie {
             _ => {
                 if self.err_memo.0 != pe {
                     let bits = self.config.geometry.raw_page_bytes() as u64 * 8;
-                    self.err_memo = (pe, self.config.wear.expected_errors(pe, bits));
+                    self.err_memo = (
+                        pe,
+                        self.config.wear.expected_errors(pe, bits) * self.retention_scale,
+                    );
                 }
-                self.err_memo.1
+                // The read-disturb term uses the block's read count *before*
+                // this operation is recorded, and deliberately bypasses the
+                // memo: the count advances mid-run, so caching it per-PE
+                // would serve stale values.
+                self.err_memo.1 + self.read_disturb * wear_entry.reads() as f64
             }
         };
 
@@ -272,9 +315,11 @@ impl NandDie {
     /// `erases`, `busy`) and the raw jitter-RNG state.
     ///
     /// The identifier, configuration and everything derived from them
-    /// (`rng_seed`, `jitter`, `t_read`) are construction parameters, not
-    /// snapshot state; the latency/RBER memos are value-identical caches and
-    /// are re-primed lazily after a restore.
+    /// (`rng_seed`, `jitter`, `t_read`, the `read_disturb`/`retention_scale`
+    /// fault profile) are construction parameters, not snapshot state; the
+    /// latency/RBER memos are value-identical caches and are re-primed lazily
+    /// after a restore. The read counts feeding the read-disturb term are
+    /// part of the encoded wear map, so faulted error growth forks exactly.
     pub fn encode_state(&self, enc: &mut Encoder) {
         self.array.encode_state(enc);
         enc.put_u64(self.baseline_pe);
@@ -436,6 +481,65 @@ mod tests {
         assert_eq!(d.stats().erases, 0);
         assert_eq!(d.ready_at(), SimTime::ZERO);
         assert_eq!(d.block_pe_cycles(addr(0, 0)), 1);
+    }
+
+    #[test]
+    fn memoised_error_path_matches_memo_free_under_fault_schedules() {
+        // Drives a schedule that advances wear and read counts mid-run, with
+        // mid-run artificial aging on top, and checks that the memoised hot
+        // path returns exactly the memo-free value at every step.
+        let mut d = die();
+        d.set_fault_profile(0.25, 3.0);
+        let ops = [NandOp::Read, NandOp::Program, NandOp::Erase];
+        for round in 0..6u32 {
+            if round == 2 {
+                d.age_all_blocks(1_500);
+            }
+            if round == 4 {
+                d.age_all_blocks(3_500);
+            }
+            for i in 0..9u32 {
+                let a = addr(i % 3, i % 4);
+                let op = ops[(i % 3) as usize];
+                let want = match op {
+                    NandOp::Erase => 0.0,
+                    _ => d.expected_raw_errors(a),
+                };
+                let got = d.execute(d.ready_at(), op, a).expected_raw_errors;
+                assert_eq!(got, want, "round {round} op {i}: memo served stale value");
+            }
+        }
+    }
+
+    #[test]
+    fn read_disturb_grows_errors_with_repeated_reads() {
+        let mut d = die();
+        d.set_fault_profile(0.5, 1.0);
+        let a = addr(0, 0);
+        let first = d.execute(d.ready_at(), NandOp::Read, a).expected_raw_errors;
+        let second = d.execute(d.ready_at(), NandOp::Read, a).expected_raw_errors;
+        let third = d.execute(d.ready_at(), NandOp::Read, a).expected_raw_errors;
+        assert!((second - first - 0.5).abs() < 1e-9);
+        assert!((third - second - 0.5).abs() < 1e-9);
+        // A different block has its own read counter.
+        let other = d
+            .execute(d.ready_at(), NandOp::Read, addr(1, 0))
+            .expected_raw_errors;
+        assert_eq!(other, first);
+    }
+
+    #[test]
+    fn retention_scale_multiplies_wear_errors() {
+        let mut healthy = die();
+        let mut degraded = die();
+        degraded.set_fault_profile(0.0, 4.0);
+        healthy.age_all_blocks(1_000);
+        degraded.age_all_blocks(1_000);
+        let a = addr(0, 0);
+        assert_eq!(
+            degraded.expected_raw_errors(a),
+            healthy.expected_raw_errors(a) * 4.0
+        );
     }
 
     #[test]

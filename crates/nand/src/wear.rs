@@ -22,6 +22,15 @@ pub struct WearModel {
     pub growth_exponent: f64,
 }
 
+/// Normalised-wear ceiling past which the RBER curve saturates.
+///
+/// The growth curve is a fit against rated-life characterisation data;
+/// extrapolating it without bound produces astronomically large error counts
+/// (and, at `u64::MAX` P/E cycles, non-finite arithmetic) for regimes no
+/// characterisation covers. Beyond four times rated life the oxide is
+/// modelled as fully degraded and the RBER stays at its ceiling.
+pub const MAX_NORMALIZED_WEAR: f64 = 4.0;
+
 impl WearModel {
     /// The MLC wear model used for the paper's experiments: 3 000 rated P/E
     /// cycles, RBER growing from 1e-6 to 2e-3 with a cubic-ish curve.
@@ -40,9 +49,11 @@ impl WearModel {
         pe_cycles as f64 / self.rated_pe_cycles.max(1) as f64
     }
 
-    /// Raw bit error rate after `pe_cycles` program/erase cycles.
+    /// Raw bit error rate after `pe_cycles` program/erase cycles. Saturates
+    /// at [`MAX_NORMALIZED_WEAR`] so pathological erase counts (fault
+    /// campaigns age blocks far past rated life) stay finite.
     pub fn rber(&self, pe_cycles: u64) -> f64 {
-        let w = self.normalized_wear(pe_cycles);
+        let w = self.normalized_wear(pe_cycles).min(MAX_NORMALIZED_WEAR);
         self.rber_fresh + (self.rber_end_of_life - self.rber_fresh) * w.powf(self.growth_exponent)
     }
 
@@ -94,19 +105,20 @@ impl BlockWear {
         self.reads
     }
 
-    /// Records one erase (this is what increments the P/E count).
+    /// Records one erase (this is what increments the P/E count). Saturates
+    /// at `u64::MAX` rather than wrapping for blocks aged to the limit.
     pub fn record_erase(&mut self) {
-        self.pe_cycles += 1;
+        self.pe_cycles = self.pe_cycles.saturating_add(1);
     }
 
-    /// Records one page program.
+    /// Records one page program. Saturates at `u64::MAX`.
     pub fn record_program(&mut self) {
-        self.programs += 1;
+        self.programs = self.programs.saturating_add(1);
     }
 
-    /// Records one page read.
+    /// Records one page read. Saturates at `u64::MAX`.
     pub fn record_read(&mut self) {
-        self.reads += 1;
+        self.reads = self.reads.saturating_add(1);
     }
 
     /// Forces the P/E count (used to age a device artificially, as the
@@ -173,6 +185,29 @@ mod tests {
         let e1 = m.expected_errors(3_000, 1_000);
         let e2 = m.expected_errors(3_000, 2_000);
         assert!((e2 - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rber_saturates_past_four_times_rated_life() {
+        let m = WearModel::default();
+        let ceiling = m.rber(m.rated_pe_cycles * 4);
+        assert!(ceiling.is_finite());
+        assert_eq!(m.rber(m.rated_pe_cycles * 8), ceiling);
+        assert_eq!(m.rber(u64::MAX), ceiling);
+        assert!(m.expected_errors(u64::MAX, u64::MAX).is_finite());
+    }
+
+    #[test]
+    fn erase_count_saturates_instead_of_wrapping() {
+        let mut b = BlockWear::new();
+        b.set_pe_cycles(u64::MAX);
+        b.record_erase();
+        assert_eq!(b.pe_cycles(), u64::MAX);
+        let mut c = BlockWear::new();
+        c.set_pe_cycles(u64::MAX - 1);
+        c.record_erase();
+        c.record_erase();
+        assert_eq!(c.pe_cycles(), u64::MAX);
     }
 
     #[test]

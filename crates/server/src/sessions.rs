@@ -463,6 +463,42 @@ mod tests {
     }
 
     #[test]
+    fn fault_config_rides_in_the_config_text() {
+        // Fault injection needs no wire change: the degraded-device keys
+        // travel inside the CreateSession config text, and two sessions
+        // created from the same faulty text stay byte-deterministic.
+        let text = ssdx_core::SsdConfig::builder("degraded")
+            .topology(2, 2, 1)
+            .ftl_mode(ssdx_core::FtlMode::PageMapped)
+            .seed(7)
+            .faults(ssdx_core::FaultConfig {
+                read_disturb_per_read: 0.05,
+                retention_scale: 2.0,
+                retire_pe_limit: 3,
+                power_loss_at: 24,
+            })
+            .build()
+            .unwrap()
+            .to_text();
+        for key in [
+            "read_disturb",
+            "retention_scale",
+            "retire_pe_limit",
+            "power_loss_at",
+        ] {
+            assert!(text.contains(key), "config text must carry `{key}`");
+        }
+        let host = SessionHost::new(8);
+        let (a, _) = host.create(&text, &small_spec()).unwrap();
+        let (b, _) = host.create(&text, &small_spec()).unwrap();
+        host.advance(a, AdvanceMode::Steps(64)).unwrap();
+        host.advance(b, AdvanceMode::Steps(64)).unwrap();
+        let ra = host.report(a).unwrap();
+        let rb = host.report(b).unwrap();
+        assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+    }
+
+    #[test]
     fn session_limit_is_enforced() {
         let host = SessionHost::new(1);
         host.create(&small_config_text(), &small_spec()).unwrap();
